@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Design-choice ablations called out in the paper's evaluation:
+ *  1. async-unmap batch level 33 vs 512 on Apache (paper: +20%, with
+ *     a longer vulnerability window);
+ *  2. pre-zero daemon bandwidth throttle (paper: a 64 MB/s concurrent
+ *     throttle costs 5-10% on the insert-heavy YCSB load);
+ *  3. MMU-monitor table migration on random access over a fragmented
+ *     file (paper: ~10% gain from moving tables to DRAM).
+ */
+#include "bench/common.h"
+#include "workloads/apache.h"
+#include "workloads/kvstore.h"
+#include "workloads/repetitive.h"
+#include "workloads/ycsb.h"
+
+using namespace dax;
+using namespace dax::bench;
+using namespace dax::wl;
+
+namespace {
+
+double
+apacheRps(unsigned batch)
+{
+    sys::System system(benchConfig(2ULL << 30, 16));
+    system.dax()->setAsyncBatchPages(batch);
+    auto pages = makeWebPages(system, "/www/", 64, 32 * 1024);
+    auto as = system.newProcess();
+    std::vector<std::unique_ptr<sim::Task>> tasks;
+    for (unsigned t = 0; t < 16; t++) {
+        ApacheWorker::Config wc;
+        wc.pages = pages;
+        wc.requests = 1500;
+        wc.access.interface = Interface::DaxVm;
+        wc.access.ephemeral = true;
+        wc.access.asyncUnmap = true;
+        wc.seed = t + 1;
+        tasks.push_back(
+            std::make_unique<ApacheWorker>(system, *as, wc));
+    }
+    const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    return 16.0 * 1500.0 / (static_cast<double>(elapsed) / 1e9);
+}
+
+double
+ycsbLoadKops(sim::Bw throttle, bool prezero)
+{
+    sys::SystemConfig config = benchConfig(3ULL << 30, 4);
+    config.prezero = prezero;
+    config.cm.prezeroThrottle = throttle;
+    sys::System system(config);
+    ageImage(system);
+    auto as = system.newProcess();
+    KvStore::Config kc;
+    kc.memtableRecords = 4096;
+    kc.compactionTrigger = 4; // frequent compactions feed the daemon
+    kc.compactionWidth = 2;
+    kc.access.interface = Interface::DaxVm;
+    kc.access.nosync = true;
+    KvStore kv(system, *as, kc);
+    YcsbRunner::Config load;
+    load.kv = &kv;
+    load.mix = YcsbMix::loadA();
+    load.records = 0;
+    load.ops = 40000;
+    std::vector<std::unique_ptr<sim::Task>> tasks;
+    tasks.push_back(std::make_unique<YcsbRunner>(load));
+    const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    return static_cast<double>(load.ops)
+         / (static_cast<double>(elapsed) / 1e9) / 1000.0;
+}
+
+double
+randomReadKops(bool monitor)
+{
+    sys::System system(benchConfig(2ULL << 30, 2));
+    ageImage(system);
+    system.vmm().setHugePagesEnabled(false);
+    const std::uint64_t fileBytes = 512ULL << 20;
+    const fs::Ino ino = system.makeFile("/frag", fileBytes);
+    auto as = system.newProcess();
+    Repetitive::Config rc;
+    rc.ino = ino;
+    rc.fileBytes = fileBytes;
+    rc.opBytes = 4096;
+    rc.randomOrder = true;
+    rc.ops = 200000;
+    rc.monitorPollOps = monitor ? 8192 : 0;
+    rc.access.interface = Interface::DaxVm;
+    rc.access.nosync = true;
+    std::vector<std::unique_ptr<sim::Task>> tasks;
+    tasks.push_back(std::make_unique<Repetitive>(system, *as, rc));
+    const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    return 200000.0 / (static_cast<double>(elapsed) / 1e9) / 1000.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Ablations of DaxVM design choices\n");
+
+    const double b33 = apacheRps(33);
+    const double b512 = apacheRps(512);
+    std::printf("\n== Async unmap batch (Apache, 16 cores) ==\n");
+    std::printf("batch=33: %.0f rps, batch=512: %.0f rps (+%.1f%%; "
+                "paper: +20%%)\n",
+                b33, b512, 100.0 * (b512 - b33) / b33);
+
+    std::printf("\n== Pre-zero throttle (YCSB Load A, kops/s) ==\n");
+    const double off = ycsbLoadKops(1.0, false);
+    const double full = ycsbLoadKops(1.0, true);
+    const double throttled = ycsbLoadKops(0.064, true);
+    std::printf("prezero off: %.1f, on (1 GB/s): %.1f, on (64 MB/s "
+                "throttle): %.1f\n",
+                off, full, throttled);
+    std::printf("throttle cost vs full: %.1f%% (paper: 5-10%%)\n",
+                100.0 * (full - throttled) / full);
+
+    std::printf("\n== MMU monitor migration (random 4KB reads, "
+                "fragmented file) ==\n");
+    const double noMon = randomReadKops(false);
+    const double withMon = randomReadKops(true);
+    std::printf("monitor off: %.1f kops, on: %.1f kops (+%.1f%%; "
+                "paper: ~10%%)\n",
+                noMon, withMon, 100.0 * (withMon - noMon) / noMon);
+    return 0;
+}

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Shared bench harness: builds Systems, runs worker groups on the
+ * engine, and prints paper-style figure/table rows.
+ *
+ * Every bench binary prints (a) the exact workload parameters and
+ * scaling factors relative to the paper's setup and (b) one row per
+ * figure series point, so EXPERIMENTS.md can quote the output
+ * directly.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sys/system.h"
+#include "workloads/common.h"
+
+namespace dax::bench {
+
+/** Default bench system sizes (scaled from the paper's 384 GB PMem). */
+inline sys::SystemConfig
+benchConfig(std::uint64_t pmemBytes = 2ULL << 30, unsigned cores = 16)
+{
+    sys::SystemConfig config;
+    config.cores = cores;
+    config.pmemBytes = pmemBytes;
+    config.pmemTableBytes = std::max<std::uint64_t>(
+        pmemBytes / 16, 128ULL << 20);
+    config.dramBytes = 1ULL << 30;
+    return config;
+}
+
+/** Age an image the way the evaluation section does. */
+inline fs::AgingReport
+ageImage(sys::System &system, double churn = 3.0)
+{
+    fs::AgingConfig aging;
+    aging.churnFactor = churn;
+    auto report = system.age(aging);
+    std::printf("# %s\n", report.toString().c_str());
+    return report;
+}
+
+/**
+ * Run @p tasks as engine threads pinned to cores 0..n-1, starting at
+ * the system's quiesce time.
+ * @return the elapsed virtual time (makespan - start).
+ */
+inline sim::Time
+runWorkers(sys::System &system,
+           std::vector<std::unique_ptr<sim::Task>> tasks)
+{
+    const sim::Time start = system.quiesceTime();
+    int core = 0;
+    for (auto &task : tasks) {
+        system.engine().addThread(std::move(task), core, start);
+        core = (core + 1) % static_cast<int>(system.engine().numCores());
+    }
+    const sim::Time makespan = system.engine().run();
+    return makespan > start ? makespan - start : 0;
+}
+
+/** One figure series: label + y value per x position. */
+struct Series
+{
+    std::string name;
+    std::vector<double> values;
+};
+
+/** Print a figure as an aligned table: rows = x, columns = series. */
+inline void
+printFigure(const std::string &title, const std::string &xLabel,
+            const std::vector<std::string> &xs,
+            const std::vector<Series> &series, const char *format = "%12.2f")
+{
+    std::printf("\n== %s ==\n", title.c_str());
+    std::printf("%-14s", xLabel.c_str());
+    for (const auto &s : series)
+        std::printf("%16s", s.name.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < xs.size(); i++) {
+        std::printf("%-14s", xs[i].c_str());
+        for (const auto &s : series) {
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), format,
+                          i < s.values.size() ? s.values[i] : 0.0);
+            std::printf("%16s", buf);
+        }
+        std::printf("\n");
+    }
+}
+
+/** Human-readable byte size (4K, 2M, 1G...). */
+inline std::string
+sizeLabel(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= (1ULL << 30) && bytes % (1ULL << 30) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluG", (unsigned long long)(bytes >> 30));
+    else if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+        std::snprintf(buf, sizeof(buf), "%lluM", (unsigned long long)(bytes >> 20));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluK", (unsigned long long)(bytes >> 10));
+    return buf;
+}
+
+} // namespace dax::bench

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Paper Figure 1b: read-once access over 32 KB files as thread count
+ * grows. Paper shape: read scales almost linearly; default mmap (and
+ * populate) stop scaling after a few cores (mmap_sem + shootdowns);
+ * DaxVM scales to 16 cores.
+ */
+#include "bench/common.h"
+#include "workloads/filesweep.h"
+#include "workloads/textsearch.h"
+
+using namespace dax;
+using namespace dax::bench;
+using namespace dax::wl;
+
+namespace {
+
+double
+sweepOpsPerSec(unsigned threads, const AccessOptions &access)
+{
+    sys::System system(benchConfig(2ULL << 30, std::max(threads, 1u)));
+    ageImage(system);
+    const std::uint64_t files = 4096;
+    auto paths = makeFileSet(system, "/sweep/", files, 32 * 1024);
+    auto as = system.newProcess();
+    std::vector<std::unique_ptr<sim::Task>> tasks;
+    for (unsigned t = 0; t < threads; t++) {
+        Filesweep::Config config;
+        config.paths = sliceForThread(paths, t, threads);
+        config.access = access;
+        tasks.push_back(
+            std::make_unique<Filesweep>(system, *as, config));
+    }
+    const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    return static_cast<double>(files)
+         / (static_cast<double>(elapsed) / 1e9);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Fig 1b: read-once throughput over 32KB files vs "
+                "threads (aged ext4-DAX)\n");
+    const std::vector<unsigned> threads = {1, 2, 4, 8, 12, 16};
+
+    std::vector<std::pair<std::string, AccessOptions>> interfaces;
+    {
+        AccessOptions a;
+        a.interface = Interface::Read;
+        interfaces.emplace_back("read", a);
+        a.interface = Interface::Mmap;
+        interfaces.emplace_back("mmap", a);
+        a.interface = Interface::MmapPopulate;
+        interfaces.emplace_back("populate", a);
+        a.interface = Interface::DaxVm;
+        a.ephemeral = true;
+        a.asyncUnmap = true;
+        interfaces.emplace_back("daxvm", a);
+    }
+
+    std::vector<Series> series(interfaces.size());
+    std::vector<std::string> xs;
+    for (std::size_t i = 0; i < interfaces.size(); i++)
+        series[i].name = interfaces[i].first;
+    for (const auto t : threads) {
+        xs.push_back(std::to_string(t));
+        for (std::size_t i = 0; i < interfaces.size(); i++) {
+            series[i].values.push_back(
+                sweepOpsPerSec(t, interfaces[i].second) / 1000.0);
+        }
+    }
+    printFigure("Fig 1b: files/sec (x1000, higher is better)", "threads",
+                xs, series);
+    return 0;
+}

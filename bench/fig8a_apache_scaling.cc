@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Paper Figure 8a: Apache serving 32 KB pages, 1..16 cores, plus the
+ * LATR comparison and the async-batch ablation.
+ *
+ * Paper shape: read scales almost linearly; default mmap cannot scale
+ * beyond ~4 cores; DaxVM file tables improve on populate; the
+ * ephemeral allocator unlocks scaling to 16 cores; asynchronous
+ * unmapping adds the rest; LATR helps baseline MM ~10% at 8 cores but
+ * does not scale; larger async batches (33 -> 512) add ~20%.
+ */
+#include "bench/common.h"
+#include "workloads/apache.h"
+
+using namespace dax;
+using namespace dax::bench;
+using namespace dax::wl;
+
+namespace {
+
+struct Variant
+{
+    std::string name;
+    AccessOptions access;
+    unsigned asyncBatch = 0; ///< 0 = default (33)
+};
+
+double
+rps(unsigned threads, const Variant &variant)
+{
+    sys::System system(benchConfig(2ULL << 30, std::max(threads, 1u)));
+    if (variant.asyncBatch != 0 && system.dax() != nullptr)
+        system.dax()->setAsyncBatchPages(variant.asyncBatch);
+    auto pages = makeWebPages(system, "/www/", 64, 32 * 1024);
+    auto as = system.newProcess();
+    std::vector<std::unique_ptr<sim::Task>> tasks;
+    std::vector<ApacheWorker *> workers;
+    for (unsigned t = 0; t < threads; t++) {
+        ApacheWorker::Config wc;
+        wc.pages = pages;
+        wc.requests = 1500;
+        wc.access = variant.access;
+        wc.seed = t + 1;
+        auto worker = std::make_unique<ApacheWorker>(system, *as, wc);
+        workers.push_back(worker.get());
+        tasks.push_back(std::move(worker));
+    }
+    const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    std::uint64_t requests = 0;
+    for (auto *w : workers)
+        requests += w->requestsDone();
+    return static_cast<double>(requests)
+         / (static_cast<double>(elapsed) / 1e9);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Fig 8a: Apache throughput, 32KB pages, threads "
+                "1..16\n");
+
+    std::vector<Variant> variants;
+    {
+        Variant v;
+        v.name = "read";
+        v.access.interface = Interface::Read;
+        variants.push_back(v);
+        v.name = "mmap";
+        v.access.interface = Interface::Mmap;
+        variants.push_back(v);
+        v.name = "populate";
+        v.access.interface = Interface::MmapPopulate;
+        variants.push_back(v);
+        v.name = "latr";
+        v.access.latr = true;
+        variants.push_back(v);
+        v.name = "dax-tables";
+        v.access.latr = false;
+        v.access.interface = Interface::DaxVm;
+        variants.push_back(v);
+        v.name = "+ephemeral";
+        v.access.ephemeral = true;
+        variants.push_back(v);
+        v.name = "+async";
+        v.access.asyncUnmap = true;
+        variants.push_back(v);
+        v.name = "+batch512";
+        v.asyncBatch = 512;
+        variants.push_back(v);
+    }
+
+    const std::vector<unsigned> threads = {1, 2, 4, 8, 12, 16};
+    std::vector<std::string> xs;
+    std::vector<Series> series(variants.size());
+    for (std::size_t i = 0; i < variants.size(); i++)
+        series[i].name = variants[i].name;
+    for (const auto t : threads) {
+        xs.push_back(std::to_string(t));
+        for (std::size_t i = 0; i < variants.size(); i++)
+            series[i].values.push_back(rps(t, variants[i]) / 1000.0);
+    }
+    printFigure("Fig 8a: requests/sec (x1000)", "threads", xs, series);
+    return 0;
+}

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Paper Figure 9b: P-Redis startup. Throughput timeline of the first
+ * GET operations after the server maps its PMem-resident cache.
+ *
+ * Paper shape: default mmap ramps up slowly (warm-up faults);
+ * MAP_POPULATE stalls startup (~10 s on 60 GB) then serves at full
+ * speed; DaxVM reaches full throughput instantly.
+ */
+#include "bench/common.h"
+#include "workloads/predis.h"
+
+using namespace dax;
+using namespace dax::bench;
+using namespace dax::wl;
+
+int
+main()
+{
+    std::printf("# Fig 9b: P-Redis boot timeline (aged image)\n");
+    std::printf("# paper: 60GB cache, 2M gets of 16KB; scaled: 768MB, "
+                "100K gets\n");
+
+    sys::System system(benchConfig(3ULL << 30, 4));
+    ageImage(system);
+    const std::uint64_t storeBytes = 768ULL << 20;
+    const std::uint64_t indexBytes = 32ULL << 20;
+    system.makeFile("/redis/store", storeBytes);
+    system.makeFile("/redis/index", indexBytes);
+
+    std::vector<std::pair<std::string, AccessOptions>> interfaces;
+    {
+        AccessOptions a;
+        a.interface = Interface::Mmap;
+        interfaces.emplace_back("mmap", a);
+        a.interface = Interface::MmapPopulate;
+        interfaces.emplace_back("populate", a);
+        a.interface = Interface::DaxVm;
+        a.nosync = true;
+        interfaces.emplace_back("daxvm", a);
+    }
+
+    std::printf("\n== Fig 9b: cumulative kops vs time (ms) ==\n");
+    std::printf("%-10s %14s %16s %18s\n", "series", "boot_ms",
+                "t_25%%ops_ms", "t_100%%ops_ms");
+    for (const auto &[name, access] : interfaces) {
+        auto as = system.newProcess();
+        PRedisServer::Config config;
+        config.store = *system.fs().lookupPath("/redis/store");
+        config.index = *system.fs().lookupPath("/redis/index");
+        config.storeBytes = storeBytes;
+        config.indexBytes = indexBytes;
+        config.ops = 100000;
+        config.sampleOps = 2000;
+        config.access = access;
+        auto server =
+            std::make_unique<PRedisServer>(system, *as, config);
+        auto *ptr = server.get();
+        std::vector<std::unique_ptr<sim::Task>> tasks;
+        tasks.push_back(std::move(server));
+        const sim::Time start = system.quiesceTime();
+        runWorkers(system, std::move(tasks));
+
+        // Timeline summary: boot latency, time to 25% and 100% ops.
+        double t25 = 0, t100 = 0;
+        for (const auto &[when, ops] : ptr->timeline()) {
+            const double ms =
+                static_cast<double>(when - start) / 1e6;
+            if (t25 == 0 && ops >= config.ops / 4)
+                t25 = ms;
+            if (ops >= config.ops)
+                t100 = ms;
+        }
+        std::printf("%-10s %14.3f %16.1f %18.1f\n", name.c_str(),
+                    static_cast<double>(ptr->bootLatency()) / 1e6, t25,
+                    t100);
+
+        // Full timeline (throughput per bucket) for plotting.
+        std::printf("#   timeline(ms:kops):");
+        std::uint64_t prevOps = 0;
+        sim::Time prevT = start;
+        int printed = 0;
+        for (const auto &[when, ops] : ptr->timeline()) {
+            if (when == prevT) {
+                continue;
+            }
+            const double rate = static_cast<double>(ops - prevOps)
+                              / (static_cast<double>(when - prevT) / 1e9)
+                              / 1000.0;
+            if (printed++ % 5 == 0) {
+                std::printf(" %.0f:%.0f",
+                            static_cast<double>(when - start) / 1e6,
+                            rate);
+            }
+            prevOps = ops;
+            prevT = when;
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * google-benchmark suite measuring the real (host wall-clock) cost of
+ * the simulator's hot primitives: engine steps, TLB lookups, page
+ * walks, file-table attach/detach, fault handling, extent allocation.
+ * This guards the simulator's own performance, not simulated time.
+ */
+#include <benchmark/benchmark.h>
+
+#include "daxvm/api.h"
+#include "sys/system.h"
+#include "workloads/filesweep.h"
+
+using namespace dax;
+
+namespace {
+
+sys::SystemConfig
+microConfig()
+{
+    sys::SystemConfig config;
+    config.cores = 4;
+    config.pmemBytes = 512ULL << 20;
+    config.pmemTableBytes = 64ULL << 20;
+    config.dramBytes = 256ULL << 20;
+    return config;
+}
+
+void
+BM_TlbLookupHit(benchmark::State &state)
+{
+    arch::Tlb tlb;
+    arch::WalkResult w;
+    w.present = true;
+    w.paddr = 0x1000;
+    w.pageShift = 12;
+    tlb.insert(0x1000, 1, w);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(tlb.lookup(0x1000, 1));
+}
+BENCHMARK(BM_TlbLookupHit);
+
+void
+BM_PageTableWalk(benchmark::State &state)
+{
+    sim::CostModel cm;
+    mem::Device dram(mem::Kind::Dram, 64ULL << 20, cm,
+                     mem::Backing::Sparse);
+    mem::FrameAllocator frames(dram, 0, 64ULL << 20);
+    arch::PageTable pt(frames);
+    for (std::uint64_t i = 0; i < 512; i++)
+        pt.map(i * 4096, i * 4096, arch::kPteLevel, arch::pte::kWrite);
+    std::uint64_t va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pt.lookup(va));
+        va = (va + 4096) % (512 * 4096);
+    }
+}
+BENCHMARK(BM_PageTableWalk);
+
+void
+BM_MmuTranslate(benchmark::State &state)
+{
+    sim::CostModel cm;
+    mem::Device dram(mem::Kind::Dram, 64ULL << 20, cm,
+                     mem::Backing::Sparse);
+    mem::FrameAllocator frames(dram, 0, 64ULL << 20);
+    arch::PageTable pt(frames);
+    for (std::uint64_t i = 0; i < 4096; i++)
+        pt.map(i * 4096, i * 4096, arch::kPteLevel, arch::pte::kWrite);
+    arch::Mmu mmu(cm);
+    arch::MmuPerf perf;
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::uint64_t va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mmu.translate(cpu, pt, va, false, 1, perf));
+        va = (va + 4096) % (4096 * 4096);
+    }
+}
+BENCHMARK(BM_MmuTranslate);
+
+void
+BM_DaxVmMmapMunmap(benchmark::State &state)
+{
+    sys::System system(microConfig());
+    const fs::Ino ino = system.makeFile("/f", 32 * 1024);
+    auto as = system.newProcess();
+    sim::Cpu cpu(nullptr, 0, 0);
+    for (auto _ : state) {
+        const std::uint64_t va = system.dax()->mmap(
+            cpu, *as, ino, 0, 32 * 1024, false, vm::kMapEphemeral);
+        system.dax()->munmap(cpu, *as, va);
+    }
+}
+BENCHMARK(BM_DaxVmMmapMunmap);
+
+void
+BM_PosixFaultPath(benchmark::State &state)
+{
+    sys::System system(microConfig());
+    const fs::Ino ino = system.makeFile("/f", 256ULL << 20);
+    auto as = system.newProcess();
+    sim::Cpu cpu(nullptr, 0, 0);
+    const std::uint64_t va =
+        as->mmap(cpu, ino, 0, 256ULL << 20, false, 0);
+    std::uint64_t off = 0;
+    for (auto _ : state) {
+        as->memRead(cpu, va + off, 8, mem::Pattern::Rand);
+        off = (off + 4096) % (256ULL << 20);
+    }
+}
+BENCHMARK(BM_PosixFaultPath);
+
+void
+BM_FsAppendBlock(benchmark::State &state)
+{
+    sys::System system(microConfig());
+    sim::Cpu cpu(nullptr, 0, 0);
+    const fs::Ino ino = system.fs().create(cpu, "/grow");
+    std::uint64_t off = 0;
+    for (auto _ : state) {
+        system.fs().write(cpu, ino, off, nullptr, 4096);
+        off += 4096;
+        if (off >= (128ULL << 20)) {
+            state.PauseTiming();
+            system.fs().ftruncate(cpu, ino, 0);
+            off = 0;
+            state.ResumeTiming();
+        }
+    }
+}
+BENCHMARK(BM_FsAppendBlock);
+
+void
+BM_EngineRun16Threads(benchmark::State &state)
+{
+    // Host cost of one full engine run: 16 threads x 1000 quanta.
+    for (auto _ : state) {
+        sim::Engine engine(16);
+        for (int t = 0; t < 16; t++) {
+            int steps = 0;
+            engine.addThread(std::make_unique<sim::FnTask>(
+                [steps](sim::Cpu &cpu) mutable {
+                    cpu.advance(100);
+                    return ++steps < 1000;
+                }));
+        }
+        benchmark::DoNotOptimize(engine.run());
+    }
+    state.SetItemsProcessed(state.iterations() * 16000);
+}
+BENCHMARK(BM_EngineRun16Threads);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Paper Table II: average page-walk cycles for sequential and random
+ * 4 KB access on a 10 GB memory-mapped file, with file tables resident
+ * in DRAM vs PMem.
+ *
+ * Paper values: seq 28 (DRAM) / 103 (PMem); rand 111 (DRAM) / 821
+ * (PMem).
+ */
+#include "bench/common.h"
+#include "workloads/repetitive.h"
+
+using namespace dax;
+using namespace dax::bench;
+
+namespace {
+
+double
+walkCycles(bool pmemTables, bool random)
+{
+    sys::SystemConfig config = benchConfig(2ULL << 30, 2);
+    // Force 4 KB mappings so every access exercises leaf PTEs.
+    sys::System system(config);
+    ageImage(system, 3.0);
+    system.vmm().setHugePagesEnabled(false);
+
+    const std::uint64_t fileBytes = 512ULL << 20; // scaled from 10 GB
+    const fs::Ino ino = system.makeFile("/walk", fileBytes);
+    auto as = system.newProcess();
+    sim::Cpu cpu(nullptr, 0, 0);
+    cpu.advanceTo(system.quiesceTime());
+
+    if (!pmemTables) {
+        // Build and use the DRAM mirror before mapping (what the
+        // monitor does for running processes via re-attachment).
+        system.fileTables()->migrateToDram(cpu, ino);
+    }
+    const std::uint64_t va =
+        system.dax()->mmap(cpu, *as, ino, 0, fileBytes, false, 0);
+    if (va == 0)
+        return -1;
+
+    sim::Rng rng(23);
+    const std::uint64_t pages = fileBytes / 4096;
+    as->perf().reset();
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 200000; i++) {
+        const std::uint64_t page =
+            random ? rng.below(pages) : (seq++ % pages);
+        as->memRead(cpu, va + page * 4096 + (page % 512) * 8, 8,
+                    mem::Pattern::Rand);
+    }
+    return as->perf().avgWalkCycles();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("# Table II: average page-walk cycles, 4KB access on a "
+                "mapped file (scaled 512MB)\n");
+    std::printf("# paper: seq 28/103, rand 111/821 (DRAM/PMem tables)\n");
+
+    std::vector<std::string> xs = {"seq read", "rand read"};
+    std::vector<Series> series(2);
+    series[0].name = "DRAM tables";
+    series[1].name = "PMem tables";
+    for (const bool random : {false, true}) {
+        series[0].values.push_back(walkCycles(false, random));
+        series[1].values.push_back(walkCycles(true, random));
+    }
+    printFigure("Table II: avg page-walk cycles", "pattern", xs, series,
+                "%12.0f");
+    return 0;
+}

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Crash/restart scenario (paper Fig. 9b's availability story): a
+ * P-Redis-style server writes a PMem-resident cache, the machine
+ * "reboots" (volatile state dies, persistent file tables survive),
+ * and the server comes back up instantly with DaxVM while default
+ * mmap spends its warm-up period faulting.
+ */
+#include <cstdio>
+
+#include "sys/system.h"
+#include "workloads/predis.h"
+
+using namespace dax;
+using namespace dax::wl;
+
+int
+main()
+{
+    sys::SystemConfig config;
+    config.cores = 4;
+    config.pmemBytes = 2ULL << 30;
+    sys::System system(config);
+
+    // Age the image first: the store ends up 4 KB-fragmented, which
+    // is what makes lazy/populate mapping expensive after a reboot.
+    fs::AgingConfig aging;
+    aging.churnFactor = 3.0;
+    system.age(aging);
+
+    const std::uint64_t storeBytes = 384ULL << 20;
+    const std::uint64_t indexBytes = 16ULL << 20;
+    system.makeFile("/redis/store", storeBytes, 1 << 20);
+    system.makeFile("/redis/index", indexBytes);
+    const fs::Ino store = *system.fs().lookupPath("/redis/store");
+    const fs::Ino index = *system.fs().lookupPath("/redis/index");
+
+    // Simulate the crash/reboot: drop all volatile kernel state.
+    system.remount();
+    std::printf("rebooted: inode cache dropped; persistent DaxVM file "
+                "tables survive in PMem\n\n");
+
+    auto bootAndServe = [&](const char *label, Interface iface) {
+        auto server = system.newProcess();
+        PRedisServer::Config pc;
+        pc.store = store;
+        pc.index = index;
+        pc.storeBytes = storeBytes;
+        pc.indexBytes = indexBytes;
+        pc.ops = 50000;
+        pc.access.interface = iface;
+        pc.access.nosync = iface == Interface::DaxVm;
+        auto task = std::make_unique<PRedisServer>(system, *server, pc);
+        auto *srv = task.get();
+        const sim::Time start = system.quiesceTime();
+        system.engine().addThread(std::move(task), 0, start);
+        const sim::Time end = system.engine().run();
+        std::printf("%-10s boot=%8.2f ms, 50K gets served in %7.1f ms\n",
+                    label,
+                    static_cast<double>(srv->bootLatency()) / 1e6,
+                    static_cast<double>(end - start) / 1e6);
+
+        // Data integrity across the reboot.
+        std::uint8_t byte = 0;
+        sim::Cpu cpu(nullptr, 0, 0);
+        cpu.advanceTo(system.quiesceTime());
+        const std::uint64_t va = system.dax()->mmap(
+            cpu, *server, store, 0, 4096, false, vm::kMapEphemeral);
+        server->memRead(cpu, va + 77, 1, mem::Pattern::Rand, &byte);
+        system.dax()->munmap(cpu, *server, va);
+        if (byte != sys::System::patternByte(store, 77))
+            std::printf("  !! data corruption detected\n");
+        return srv;
+    };
+
+    bootAndServe("mmap", Interface::Mmap);
+    bootAndServe("populate", Interface::MmapPopulate);
+    bootAndServe("daxvm", Interface::DaxVm);
+
+    std::printf("\nDaxVM attaches the persistent file tables in O(1): "
+                "instant full throughput\nafter restart; populate pays "
+                "the whole pre-fault up front, and lazy mmap\nramps up "
+                "through its warm-up faults.\n");
+    return 0;
+}

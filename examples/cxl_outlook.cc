@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Paper Section VI: DaxVM beyond persistent memory. Intel wound down
+ * Optane, but the design targets any byte-addressable storage behind
+ * a memory interface - e.g. CXL memory-semantic SSDs. This example
+ * re-parameterizes the cost model to a CXL-class device (higher load
+ * latency than local DRAM, competitive bandwidth) and shows that the
+ * paper's core effects - the small-file mmap problem, O(1) attach,
+ * ephemeral scalability - are properties of the VM stack, not of
+ * Optane.
+ */
+#include <cstdio>
+#include <vector>
+
+#include "sys/system.h"
+#include "workloads/filesweep.h"
+#include "workloads/textsearch.h"
+
+using namespace dax;
+using namespace dax::wl;
+
+namespace {
+
+/** A CXL memory-semantic device in place of Optane DIMMs. */
+sim::CostModel
+cxlCostModel()
+{
+    sim::CostModel cm;
+    cm.pmemLoadLat = 450;       // CXL.mem round trip
+    cm.pmemReadBwCore = 8.0;    // PCIe5 x8-class link, per core
+    cm.pmemNtStoreBwCore = 4.0; // writes no longer Optane-limited
+    cm.pmemClwbBwCore = 2.0;
+    cm.pmemDeviceReadBw = 28.0;
+    cm.pmemDeviceWriteBw = 24.0; // near-symmetric read/write
+    cm.walkLeafPmem = 440;      // table walks to CXL cost more
+    return cm;
+}
+
+double
+sweep(sys::System &system, const std::vector<std::string> &paths,
+      unsigned threads, const AccessOptions &access)
+{
+    auto as = system.newProcess();
+    std::vector<Filesweep *> sweeps;
+    const sim::Time start = system.quiesceTime();
+    for (unsigned t = 0; t < threads; t++) {
+        Filesweep::Config config;
+        config.paths = sliceForThread(paths, t, threads);
+        config.access = access;
+        auto task = std::make_unique<Filesweep>(system, *as, config);
+        sweeps.push_back(task.get());
+        system.engine().addThread(std::move(task),
+                                  static_cast<int>(t), start);
+    }
+    const sim::Time end = system.engine().run();
+    return static_cast<double>(paths.size())
+         / (static_cast<double>(end - start) / 1e9) / 1000.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("DaxVM on a CXL memory-semantic device "
+                "(paper Section VI outlook)\n");
+    std::printf("----------------------------------------------------"
+                "--\n");
+
+    sys::SystemConfig config;
+    config.cores = 16;
+    config.pmemBytes = 2ULL << 30;
+    config.cm = cxlCostModel();
+    sys::System system(config);
+
+    auto paths = makeFileSet(system, "/files/", 4096, 32 * 1024);
+
+    AccessOptions read;
+    read.interface = Interface::Read;
+    AccessOptions mmap;
+    mmap.interface = Interface::Mmap;
+    AccessOptions daxvm;
+    daxvm.interface = Interface::DaxVm;
+    daxvm.ephemeral = true;
+    daxvm.asyncUnmap = true;
+
+    std::printf("32KB read-once sweep, Kfiles/s:\n");
+    std::printf("%8s %10s %10s %10s\n", "threads", "read", "mmap",
+                "daxvm");
+    for (unsigned threads : {1u, 4u, 16u}) {
+        std::printf("%8u %10.1f %10.1f %10.1f\n", threads,
+                    sweep(system, paths, threads, read),
+                    sweep(system, paths, threads, mmap),
+                    sweep(system, paths, threads, daxvm));
+    }
+
+    std::printf("\nThe mmap-vs-read crossover and DaxVM's win survive "
+                "the device swap:\nthe bottlenecks the paper attacks "
+                "(faults, mmap_sem, shootdowns) live in\nthe VM layer, "
+                "not in the storage medium.\n");
+    return 0;
+}

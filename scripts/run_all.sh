@@ -1,0 +1,12 @@
+#!/bin/sh
+# Build, test, and regenerate every paper figure/table.
+set -e
+cd "$(dirname "$0")/.."
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    echo "===== $(basename "$b") ====="
+    "$b"
+done 2>&1 | tee bench_output.txt

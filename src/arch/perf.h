@@ -1,0 +1,57 @@
+/**
+ * @file
+ * MMU performance counters, the substrate of the DaxVM monitor
+ * (paper Table III): average page-walk cycles and MMU overhead drive
+ * the PMem->DRAM file-table migration decision.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace dax::arch {
+
+struct MmuPerf
+{
+    std::uint64_t tlbHits = 0;
+    std::uint64_t tlbMisses = 0;
+    sim::Time walkNs = 0;
+
+    /** Total page-walk cycles / number of TLB misses (Table III). */
+    double
+    avgWalkCycles() const
+    {
+        if (tlbMisses == 0)
+            return 0.0;
+        return sim::nsToCycles(walkNs) / static_cast<double>(tlbMisses);
+    }
+
+    /** Total page-walk cycles / execution-time cycles (Table III). */
+    double
+    mmuOverhead(sim::Time execNs) const
+    {
+        if (execNs == 0)
+            return 0.0;
+        return static_cast<double>(walkNs) / static_cast<double>(execNs);
+    }
+
+    void
+    reset()
+    {
+        tlbHits = 0;
+        tlbMisses = 0;
+        walkNs = 0;
+    }
+
+    MmuPerf &
+    operator+=(const MmuPerf &o)
+    {
+        tlbHits += o.tlbHits;
+        tlbMisses += o.tlbMisses;
+        walkNs += o.walkNs;
+        return *this;
+    }
+};
+
+} // namespace dax::arch

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * x86-64 page-table entry encoding.
+ *
+ * Entries are stored as real 64-bit words inside the simulated devices
+ * (so persistent DaxVM file tables literally live in PMem bytes and
+ * survive a simulated reboot). Bits follow the Intel SDM layout; a few
+ * of the ignored bits (52-62) carry software state, exactly as Linux
+ * uses them.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dax::arch {
+
+using Pte = std::uint64_t;
+
+namespace pte {
+
+inline constexpr Pte kPresent = 1ULL << 0;
+inline constexpr Pte kWrite = 1ULL << 1;
+inline constexpr Pte kUser = 1ULL << 2;
+inline constexpr Pte kAccessed = 1ULL << 5;
+inline constexpr Pte kDirty = 1ULL << 6;
+/** Page-size bit: entry at PMD/PUD level maps a huge page. */
+inline constexpr Pte kHuge = 1ULL << 7;
+
+/** Software (ignored) bits. */
+/** Physical address refers to DRAM rather than PMem. */
+inline constexpr Pte kSoftDram = 1ULL << 57;
+/** Interior entry points into a shared (attached) DaxVM file table. */
+inline constexpr Pte kSoftAttached = 1ULL << 58;
+/** Linux-style soft-dirty used by write-protect dirty tracking. */
+inline constexpr Pte kSoftDirtyTracked = 1ULL << 59;
+
+inline constexpr Pte kAddrMask = 0x000ffffffffff000ULL;
+
+constexpr std::uint64_t
+addr(Pte e)
+{
+    return e & kAddrMask;
+}
+
+constexpr Pte
+make(std::uint64_t physAddr, Pte flags)
+{
+    return (physAddr & kAddrMask) | flags;
+}
+
+constexpr bool present(Pte e) { return (e & kPresent) != 0; }
+constexpr bool writable(Pte e) { return (e & kWrite) != 0; }
+constexpr bool huge(Pte e) { return (e & kHuge) != 0; }
+constexpr bool dirty(Pte e) { return (e & kDirty) != 0; }
+constexpr bool inDram(Pte e) { return (e & kSoftDram) != 0; }
+constexpr bool attached(Pte e) { return (e & kSoftAttached) != 0; }
+
+} // namespace pte
+
+/** Radix-tree levels: 0 = PTE, 1 = PMD, 2 = PUD, 3 = PGD. */
+inline constexpr int kPteLevel = 0;
+inline constexpr int kPmdLevel = 1;
+inline constexpr int kPudLevel = 2;
+inline constexpr int kPgdLevel = 3;
+inline constexpr int kLevels = 4;
+
+inline constexpr unsigned kEntriesPerNode = 512;
+
+/** Shift of the address bits selecting the index at @p level. */
+constexpr unsigned
+levelShift(int level)
+{
+    return 12 + 9 * static_cast<unsigned>(level);
+}
+
+/** Bytes mapped by one entry at @p level (4 KB / 2 MB / 1 GB / 512 GB). */
+constexpr std::uint64_t
+levelSpan(int level)
+{
+    return 1ULL << levelShift(level);
+}
+
+/** Index into the node at @p level for virtual address @p va. */
+constexpr unsigned
+levelIndex(std::uint64_t va, int level)
+{
+    return static_cast<unsigned>((va >> levelShift(level)) & 0x1ff);
+}
+
+} // namespace dax::arch

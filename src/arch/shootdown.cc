@@ -1,0 +1,135 @@
+/**
+ * @file
+ * ShootdownHub implementation.
+ */
+#include "arch/shootdown.h"
+
+#include <stdexcept>
+
+#include "sim/trace.h"
+
+namespace dax::arch {
+
+ShootdownHub::ShootdownHub(const sim::CostModel &cm, unsigned nCores)
+    : cm_(cm), nCores_(nCores), mmus_(nCores, nullptr),
+      pendingDisruption_(nCores, 0)
+{
+    if (nCores > 64)
+        throw std::invalid_argument("CoreMask supports at most 64 cores");
+}
+
+void
+ShootdownHub::registerMmu(int core, Mmu *mmu)
+{
+    mmus_.at(static_cast<unsigned>(core)) = mmu;
+}
+
+unsigned
+ShootdownHub::remoteCount(CoreMask targets, int self) const
+{
+    unsigned count = 0;
+    for (unsigned c = 0; c < nCores_; c++) {
+        if ((targets & coreBit(static_cast<int>(c))) != 0
+            && static_cast<int>(c) != self) {
+            count++;
+        }
+    }
+    return count;
+}
+
+void
+ShootdownHub::disturbRemotes(CoreMask targets, int self)
+{
+    for (unsigned c = 0; c < nCores_; c++) {
+        if ((targets & coreBit(static_cast<int>(c))) != 0
+            && static_cast<int>(c) != self) {
+            pendingDisruption_[c] += cm_.ipiRemoteDisruption;
+        }
+    }
+}
+
+void
+ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
+                             const std::vector<std::uint64_t> &pages)
+{
+    const int self = cpu.coreId();
+    const bool fullFlush = pages.size() > cm_.tlbFlushThreshold;
+
+    // Local invalidation.
+    Mmu *local = mmus_.at(static_cast<unsigned>(self));
+    if (fullFlush) {
+        local->tlb().flushAsid(asid);
+        cpu.advance(cm_.fullFlushLocal);
+        stats_.inc("tlb.full_flushes");
+    } else {
+        for (const auto va : pages) {
+            local->tlb().invalidatePage(va, asid);
+            cpu.advance(cm_.invlpg);
+        }
+        stats_.inc("tlb.invlpg", pages.size());
+    }
+
+    // Remote shootdown: one IPI broadcast regardless of page count
+    // (Linux batches the list into a single flush request).
+    const unsigned remotes = remoteCount(targets, self);
+    if (remotes > 0) {
+        cpu.advance(cm_.shootdownInitiator(remotes));
+        stats_.inc("tlb.ipis");
+        stats_.inc("tlb.ipi_targets", remotes);
+        DAX_TRACE(sim::TraceCat::Shootdown, cpu,
+                  "%s pages=%zu remotes=%u",
+                  fullFlush ? "full-flush" : "invlpg-batch",
+                  pages.size(), remotes);
+        for (unsigned c = 0; c < nCores_; c++) {
+            if ((targets & coreBit(static_cast<int>(c))) == 0
+                || static_cast<int>(c) == self) {
+                continue;
+            }
+            Mmu *m = mmus_[c];
+            if (fullFlush) {
+                m->tlb().flushAsid(asid);
+            } else {
+                for (const auto va : pages)
+                    m->tlb().invalidatePage(va, asid);
+            }
+        }
+        disturbRemotes(targets, self);
+    }
+}
+
+void
+ShootdownHub::shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid)
+{
+    const int self = cpu.coreId();
+    mmus_.at(static_cast<unsigned>(self))->tlb().flushAsid(asid);
+    cpu.advance(cm_.fullFlushLocal);
+    stats_.inc("tlb.full_flushes");
+
+    const unsigned remotes = remoteCount(targets, self);
+    if (remotes > 0) {
+        cpu.advance(cm_.shootdownInitiator(remotes));
+        stats_.inc("tlb.ipis");
+        stats_.inc("tlb.ipi_targets", remotes);
+        for (unsigned c = 0; c < nCores_; c++) {
+            if ((targets & coreBit(static_cast<int>(c))) != 0
+                && static_cast<int>(c) != self) {
+                mmus_[c]->tlb().flushAsid(asid);
+            }
+        }
+        disturbRemotes(targets, self);
+    }
+}
+
+void
+ShootdownHub::drainDisruption(sim::Cpu &cpu)
+{
+    auto &pending = pendingDisruption_.at(
+        static_cast<unsigned>(cpu.coreId()));
+    if (pending > 0) {
+        cpu.advance(pending);
+        stats_.inc("tlb.disruption_ns", pending);
+        pending = 0;
+    }
+}
+
+} // namespace dax::arch

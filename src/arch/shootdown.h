@@ -1,0 +1,75 @@
+/**
+ * @file
+ * TLB shootdown hub: IPI-based remote TLB invalidation.
+ *
+ * Shootdowns are the inherently unscalable operation DaxVM's async
+ * unmap attacks: the initiator pays an IPI broadcast plus per-core ack
+ * cost, and every interrupted core loses ipiRemoteDisruption of useful
+ * time. Victim time is accumulated per core and drained at the victim's
+ * next quantum boundary, which is how interrupt disruption appears in
+ * throughput without the engine preempting anyone.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/tlb.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace dax::arch {
+
+/** Set of cores, one bit per core (<= 64 cores). */
+using CoreMask = std::uint64_t;
+
+constexpr CoreMask
+coreBit(int core)
+{
+    return 1ULL << static_cast<unsigned>(core);
+}
+
+class ShootdownHub
+{
+  public:
+    ShootdownHub(const sim::CostModel &cm, unsigned nCores);
+
+    /** Register the MMU of a core (once, at system construction). */
+    void registerMmu(int core, Mmu *mmu);
+
+    Mmu &mmu(int core) { return *mmus_.at(static_cast<unsigned>(core)); }
+
+    /**
+     * Invalidate @p pages on all cores in @p targets. The initiating
+     * core flushes locally with INVLPG; remote cores get one IPI
+     * broadcast. Matches Linux's batched flush: above
+     * tlbFlushThreshold pages, full flushes are used instead.
+     */
+    void shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
+                        const std::vector<std::uint64_t> &pages);
+
+    /** Full TLB flush on all cores in @p targets (one IPI broadcast). */
+    void shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid);
+
+    /**
+     * Charge any interrupt time stolen from @p cpu's core since its
+     * last quantum. Workloads call this at quantum start.
+     */
+    void drainDisruption(sim::Cpu &cpu);
+
+    const sim::StatSet &stats() const { return stats_; }
+    sim::StatSet &stats() { return stats_; }
+
+  private:
+    unsigned remoteCount(CoreMask targets, int self) const;
+    void disturbRemotes(CoreMask targets, int self);
+
+    const sim::CostModel &cm_;
+    unsigned nCores_;
+    std::vector<Mmu *> mmus_;
+    std::vector<sim::Time> pendingDisruption_;
+    sim::StatSet stats_;
+};
+
+} // namespace dax::arch

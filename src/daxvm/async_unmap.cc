@@ -1,0 +1,9 @@
+/**
+ * @file
+ * AsyncUnmapper is header-only; TU anchors documentation.
+ */
+#include "daxvm/async_unmap.h"
+
+namespace dax::daxvm {
+// Intentionally empty.
+} // namespace dax::daxvm

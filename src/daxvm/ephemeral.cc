@@ -1,0 +1,63 @@
+/**
+ * @file
+ * EphemeralAllocator implementation.
+ */
+#include "daxvm/ephemeral.h"
+
+#include <stdexcept>
+
+namespace dax::daxvm {
+
+std::uint64_t
+EphemeralAllocator::alloc(sim::Cpu &cpu, vm::AddressSpace &as,
+                          std::uint64_t len, std::uint64_t align,
+                          const sim::CostModel &cm)
+{
+    auto &region = as.ephemeralRegion();
+    sim::ScopedLock guard(region.lock, cpu);
+    cpu.advance(cm.ephemeralAlloc);
+
+    std::uint64_t off = (region.bump + align - 1) / align * align;
+    while (off + len > region.size) {
+        // Extend the heap by 1 GB regions to avoid exhaustion.
+        region.size += 1ULL << 30;
+    }
+    region.bump = off + len;
+    return region.base + off;
+}
+
+vm::Vma &
+EphemeralAllocator::insert(sim::Cpu &cpu, vm::AddressSpace &as,
+                           const vm::Vma &vma, const sim::CostModel &cm)
+{
+    auto &region = as.ephemeralRegion();
+    sim::ScopedLock guard(region.lock, cpu);
+    cpu.advance(cm.ephemeralListOp);
+    auto [it, inserted] = region.vmas.emplace(vma.start, vma);
+    if (!inserted)
+        throw std::logic_error("ephemeral VMA overlap");
+    it->second.ephemeral = true;
+    region.liveVmas++;
+    return it->second;
+}
+
+void
+EphemeralAllocator::remove(sim::Cpu &cpu, vm::AddressSpace &as,
+                           std::uint64_t vmaStart, const sim::CostModel &cm)
+{
+    auto &region = as.ephemeralRegion();
+    sim::ScopedLock guard(region.lock, cpu);
+    cpu.advance(cm.ephemeralListOp);
+    if (region.vmas.erase(vmaStart) == 0)
+        throw std::logic_error("removing unknown ephemeral VMA");
+    if (region.liveVmas == 0)
+        throw std::logic_error("ephemeral live counter underflow");
+    region.liveVmas--;
+    if (region.liveVmas == 0) {
+        // All mappings gone: reclaim the whole heap's addresses
+        // (the paper's per-region counter, with one logical region).
+        region.bump = 0;
+    }
+}
+
+} // namespace dax::daxvm

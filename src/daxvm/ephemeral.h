@@ -1,0 +1,45 @@
+/**
+ * @file
+ * DaxVM ephemeral address space allocator (paper Section IV-B).
+ *
+ * Ephemeral mappings live in a dedicated heap region of the process
+ * address space, tracked in their own structure under a spinlock, so
+ * (de)allocation takes the mmap semaphore only as a *reader*. The
+ * allocator is a linear bump allocator over 1 GB regions; a region's
+ * addresses are reclaimed once every mapping in it is gone.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "vm/address_space.h"
+
+namespace dax::daxvm {
+
+class EphemeralAllocator
+{
+  public:
+    /**
+     * Allocate @p len bytes aligned to @p align in the ephemeral heap
+     * of @p as, charging the spinlocked fast path. Caller must hold
+     * the mmap semaphore as reader.
+     */
+    static std::uint64_t alloc(sim::Cpu &cpu, vm::AddressSpace &as,
+                               std::uint64_t len, std::uint64_t align,
+                               const sim::CostModel &cm);
+
+    /** Insert an ephemeral VMA (under the region spinlock). */
+    static vm::Vma &insert(sim::Cpu &cpu, vm::AddressSpace &as,
+                           const vm::Vma &vma, const sim::CostModel &cm);
+
+    /**
+     * Remove an ephemeral VMA; resets the heap bump pointer when the
+     * last live mapping leaves the region.
+     */
+    static void remove(sim::Cpu &cpu, vm::AddressSpace &as,
+                       std::uint64_t vmaStart, const sim::CostModel &cm);
+};
+
+} // namespace dax::daxvm

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * DaxVM pre-populated file tables (paper Section IV-A).
+ *
+ * A FileTable is a fragment of an x86-64 radix tree owned by the file
+ * system, translating file offsets to PMem physical addresses:
+ *
+ *   root (PUD-like) -> per-1GB PMD nodes -> per-2MB PTE nodes
+ *                       \__ huge PMD entries for 2 MB-contiguous,
+ *                           aligned file chunks
+ *
+ * Tables live either in DRAM frames (volatile: rebuilt on cold open,
+ * destroyed on inode eviction) or PMem frames (persistent: survive
+ * reboot; updates are flushed with cache-line-batched clwb). The
+ * manager applies the paper's placement policy (<=32 KB volatile,
+ * larger persisted) and handles monitor-driven migration to DRAM.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/page_table.h"
+#include "fs/file_system.h"
+#include "mem/frame_alloc.h"
+#include "sim/cost_model.h"
+
+namespace dax::daxvm {
+
+class FileTable
+{
+  public:
+    /**
+     * @param frames frame source (DRAM for volatile, PMem for
+     *        persistent tables)
+     * @param persistent charge clwb flushes on updates and survive
+     *        remount
+     */
+    FileTable(mem::FrameAllocator &frames, bool persistent,
+              const sim::CostModel &cm);
+    ~FileTable();
+
+    FileTable(const FileTable &) = delete;
+    FileTable &operator=(const FileTable &) = delete;
+
+    bool persistent() const { return persistent_; }
+
+    /**
+     * Record translations for @p extent at @p fileBlock, building
+     * nodes bottom-up. 2 MB-aligned fully-contiguous chunks become
+     * huge PMD entries. @p cpu may be null (setup, no charging).
+     */
+    void populate(sim::Cpu *cpu, std::uint64_t fileBlock,
+                  const fs::Extent &extent, std::uint64_t blockAddrBase);
+
+    /** Clear translations for [fileBlock, fileBlock+count). */
+    void clearRange(sim::Cpu *cpu, std::uint64_t fileBlock,
+                    std::uint64_t count);
+
+    /**
+     * Shared PTE-level node of 2 MB chunk @p chunk, or nullptr when
+     * the chunk is huge-mapped or empty.
+     */
+    arch::Node *pteNode(std::uint64_t chunk) const;
+
+    /** Shared PMD-level node of 1 GB chunk @p gchunk (may be null). */
+    arch::Node *pmdNode(std::uint64_t gchunk) const;
+
+    /**
+     * Huge PMD entry value for 2 MB chunk @p chunk (0 when the chunk
+     * is not huge-mapped).
+     */
+    arch::Pte hugeEntry(std::uint64_t chunk) const;
+
+    /** Table pages owned. */
+    std::uint64_t nodeCount() const { return nodes_; }
+    std::uint64_t bytes() const { return nodes_ * mem::kPageSize; }
+
+  private:
+    /**
+     * Per-2 MB-chunk state. Tables are built bottom-up as fragments
+     * (paper Section IV-A1): a small file owns exactly one 4 KB PTE
+     * page; 2 MB-contiguous aligned chunks are a single huge entry
+     * with no PTE page at all. PMD-level nodes are materialized only
+     * when a >1 GB file needs PUD-level attachment.
+     */
+    struct Chunk
+    {
+        arch::Node *pte = nullptr;
+        arch::Pte huge = 0;
+    };
+
+    arch::Node *newNode(bool leaf);
+    void freeNode(arch::Node *node);
+    arch::Node *ensurePte(sim::Cpu *cpu, std::uint64_t chunk);
+    /** Keep a materialized PMD node's entry for @p chunk in sync. */
+    void syncPmdEntry(std::uint64_t chunk);
+    /** Charge a batched persistent PTE flush for @p entries updates. */
+    void chargePersist(sim::Cpu *cpu, std::uint64_t entries);
+
+    mem::FrameAllocator &frames_;
+    bool persistent_;
+    const sim::CostModel &cm_;
+    std::map<std::uint64_t, Chunk> chunks_;         ///< by 2 MB chunk
+    std::map<std::uint64_t, arch::Node *> pmds_;    ///< by 1 GB chunk
+    std::uint64_t nodes_ = 0;
+};
+
+/**
+ * Per-inode DaxVM state stored in fs::Inode::priv.
+ */
+struct InodeTables : public fs::InodePrivate
+{
+    /** Primary table (placement per policy). */
+    std::unique_ptr<FileTable> table;
+    /** DRAM mirror built by the MMU monitor (paper Table III). */
+    std::unique_ptr<FileTable> dramMirror;
+    /** Serve attachments from the mirror when present. */
+    bool useMirror = false;
+
+    FileTable *
+    active() const
+    {
+        return useMirror && dramMirror ? dramMirror.get() : table.get();
+    }
+};
+
+/**
+ * FileTableManager: the file-system extension maintaining file tables
+ * across block (de)allocations, the placement policy, cold-open
+ * reconstruction, and storage accounting.
+ */
+class FileTableManager : public fs::FsHooks
+{
+  public:
+    FileTableManager(fs::FileSystem &fs, mem::FrameAllocator &dramFrames,
+                     mem::FrameAllocator &pmemFrames,
+                     const sim::CostModel &cm);
+    ~FileTableManager() override;
+
+    /** Tables of @p ino, creating (and populating) them if needed. */
+    InodeTables &tables(sim::Cpu *cpu, fs::Ino ino);
+
+    /** Cold open: rebuild volatile tables (persistent ones survive). */
+    void onColdOpen(sim::Cpu &cpu, fs::Ino ino);
+
+    /** Build a DRAM mirror and serve attachments from it. */
+    void migrateToDram(sim::Cpu &cpu, fs::Ino ino);
+
+    // FsHooks ----------------------------------------------------------
+    void onBlocksAllocated(sim::Cpu &cpu, fs::Inode &inode,
+                           std::uint64_t fileBlock,
+                           const fs::Extent &extent) override;
+    void onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
+                         std::uint64_t fileBlock,
+                         const fs::Extent &extent) override;
+    void onInodeEvict(fs::Inode &inode) override;
+
+    // Accounting ---------------------------------------------------------
+    std::uint64_t pmemTableBytes() const
+    {
+        return pmemFrames_.allocated() * mem::kPageSize;
+    }
+    std::uint64_t dramTableBytes() const
+    {
+        return dramFrames_.allocated() * mem::kPageSize;
+    }
+
+    fs::FileSystem &fs() { return fs_; }
+    const sim::CostModel &cm() const { return cm_; }
+
+    /** Force-unmap callback installed by the DaxVm facade. */
+    using ForceUnmap = void (*)(void *ctx, sim::Cpu &cpu, fs::Ino ino);
+    void
+    setForceUnmap(ForceUnmap fn, void *ctx)
+    {
+        forceUnmap_ = fn;
+        forceUnmapCtx_ = ctx;
+    }
+
+  private:
+    bool persistentPolicy(const fs::Inode &inode) const;
+    void buildFromExtents(sim::Cpu *cpu, fs::Inode &inode,
+                          InodeTables &tables);
+
+    fs::FileSystem &fs_;
+    mem::FrameAllocator &dramFrames_;
+    mem::FrameAllocator &pmemFrames_;
+    const sim::CostModel &cm_;
+    ForceUnmap forceUnmap_ = nullptr;
+    void *forceUnmapCtx_ = nullptr;
+};
+
+} // namespace dax::daxvm

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * File-system aging: a Geriatrix-style tool (Kadekodi et al., ATC'18)
+ * that fragments the image by replaying create/delete churn with an
+ * Agrawal-profile file size distribution (Agrawal et al., FAST'07), as
+ * the paper does before every ext4-DAX experiment (100 TB of write
+ * activity at 70% utilization on the real testbed).
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fs/file_system.h"
+#include "sim/rng.h"
+
+namespace dax::fs {
+
+struct AgingConfig
+{
+    /** Stop filling above this fraction of capacity. */
+    double targetUtilization = 0.70;
+    /** Churn volume as a multiple of device capacity. */
+    double churnFactor = 8.0;
+    std::uint64_t seed = 42;
+    /** Namespace prefix for the residue files left behind. */
+    std::string prefix = "/aged/";
+};
+
+struct AgingReport
+{
+    std::uint64_t filesCreated = 0;
+    std::uint64_t filesDeleted = 0;
+    std::uint64_t bytesWritten = 0;
+    double utilization = 0.0;
+    std::uint64_t freeExtents = 0;
+    std::uint64_t largestFreeExtentBlocks = 0;
+    /** Fraction of free space usable as aligned 2 MB chunks. */
+    double hugeAlignedFreeFraction = 0.0;
+
+    std::string toString() const;
+};
+
+/**
+ * Draw a file size from an Agrawal-like lognormal distribution
+ * (median a few KB, heavy tail into the tens of MB).
+ */
+std::uint64_t drawAgrawalSize(sim::Rng &rng);
+
+/** Age @p fs in place; leaves the residue files on the image. */
+AgingReport ageFileSystem(FileSystem &fs, const AgingConfig &config);
+
+} // namespace dax::fs

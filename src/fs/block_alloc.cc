@@ -1,0 +1,237 @@
+/**
+ * @file
+ * BlockAllocator implementation.
+ */
+#include "fs/block_alloc.h"
+
+#include <stdexcept>
+
+namespace dax::fs {
+
+BlockAllocator::BlockAllocator(std::uint64_t nBlocks, std::uint64_t baseAddr)
+    : totalBlocks_(nBlocks), baseAddr_(baseAddr)
+{
+    if (nBlocks == 0)
+        throw std::invalid_argument("allocator needs blocks");
+    freeMap_[0] = nBlocks;
+    freeBlocks_ = nBlocks;
+}
+
+void
+BlockAllocator::insertFree(std::map<std::uint64_t, std::uint64_t> &map,
+                           const Extent &extent)
+{
+    auto [it, inserted] = map.emplace(extent.block, extent.count);
+    if (!inserted)
+        throw std::logic_error("double free of block extent");
+
+    // Coalesce with successor.
+    auto next = std::next(it);
+    if (next != map.end() && it->first + it->second == next->first) {
+        it->second += next->second;
+        map.erase(next);
+    }
+    // Coalesce with predecessor.
+    if (it != map.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second == it->first) {
+            prev->second += it->second;
+            map.erase(it);
+        }
+    }
+}
+
+std::vector<Extent>
+BlockAllocator::carve(std::map<std::uint64_t, std::uint64_t> &map,
+                      std::uint64_t count, std::uint64_t goal,
+                      std::uint64_t &pool, bool hugeAligned)
+{
+    std::vector<Extent> out;
+    if (count == 0 || pool < count)
+        return out;
+
+    std::uint64_t remaining = count;
+
+    // Pass 0 (large files on a healthy image): carve a 2 MB-aligned
+    // run so the mapping layer can use huge pages (ext4 alignment
+    // heuristics for DAX).
+    if (hugeAligned) {
+        for (auto it = map.begin(); it != map.end(); ++it) {
+            const std::uint64_t start = it->first;
+            const std::uint64_t len = it->second;
+            const std::uint64_t aligned =
+                (start + kBlocksPerHuge - 1) / kBlocksPerHuge
+                * kBlocksPerHuge;
+            if (aligned + remaining > start + len)
+                continue;
+            const std::uint64_t head = aligned - start;
+            const std::uint64_t tail = start + len - aligned - remaining;
+            map.erase(it);
+            if (head > 0)
+                map.emplace(start, head);
+            if (tail > 0)
+                map.emplace(aligned + remaining, tail);
+            out.push_back({aligned, remaining});
+            pool -= remaining;
+            return out;
+        }
+    }
+
+    // Pass 1: a single extent fully satisfying the request, preferring
+    // the first fit at or after the goal (ext4's goal-directed search).
+    auto tryWhole = [&](auto begin, auto end) -> bool {
+        for (auto it = begin; it != end; ++it) {
+            if (it->second >= remaining) {
+                out.push_back({it->first, remaining});
+                const std::uint64_t start = it->first;
+                const std::uint64_t len = it->second;
+                map.erase(it);
+                if (len > remaining)
+                    map.emplace(start + remaining, len - remaining);
+                pool -= remaining;
+                remaining = 0;
+                return true;
+            }
+        }
+        return false;
+    };
+    if (tryWhole(map.lower_bound(goal), map.end())
+        || tryWhole(map.begin(), map.lower_bound(goal))) {
+        return out;
+    }
+
+    // Pass 2: gather fragments largest-area-first in address order
+    // starting at the goal, wrapping around.
+    auto takeFrom = [&](auto it) {
+        const std::uint64_t start = it->first;
+        const std::uint64_t len = it->second;
+        const std::uint64_t take = len < remaining ? len : remaining;
+        out.push_back({start, take});
+        map.erase(it);
+        if (len > take)
+            map.emplace(start + take, len - take);
+        pool -= take;
+        remaining -= take;
+    };
+    while (remaining > 0) {
+        auto it = map.lower_bound(goal);
+        if (it == map.end())
+            it = map.begin();
+        if (it == map.end())
+            break; // exhausted
+        takeFrom(it);
+    }
+
+    if (remaining > 0) {
+        // Roll back: out of space.
+        for (const auto &e : out) {
+            insertFree(map, e);
+            pool += e.count;
+        }
+        out.clear();
+    }
+    return out;
+}
+
+std::vector<Extent>
+BlockAllocator::alloc(std::uint64_t count, std::uint64_t goal,
+                      std::vector<bool> *zeroed, bool preferHugeAligned)
+{
+    std::vector<Extent> out;
+    if (count == 0)
+        return out;
+    if (freeBlocks_ + zeroedBlocks_ < count)
+        return out; // ENOSPC
+
+    // Prefer pre-zeroed extents first: callers that need zeroed blocks
+    // skip the synchronous zeroing for this portion.
+    std::uint64_t fromZeroed =
+        zeroedBlocks_ < count ? zeroedBlocks_ : count;
+    if (fromZeroed > 0) {
+        auto z = carve(zeroedMap_, fromZeroed, goal, zeroedBlocks_,
+                       /*hugeAligned=*/false);
+        for (const auto &e : z) {
+            out.push_back(e);
+            if (zeroed != nullptr)
+                zeroed->push_back(true);
+        }
+        if (z.empty())
+            fromZeroed = 0; // carve can fail only when pool < request
+    }
+    const std::uint64_t rest = count - fromZeroed;
+    if (rest > 0) {
+        auto f = carve(freeMap_, rest, goal, freeBlocks_,
+                       preferHugeAligned && rest >= kBlocksPerHuge);
+        if (f.empty()) {
+            // Roll back the zeroed part.
+            for (std::size_t i = 0; i < out.size(); i++) {
+                insertFree(zeroedMap_, out[i]);
+                zeroedBlocks_ += out[i].count;
+            }
+            out.clear();
+            if (zeroed != nullptr)
+                zeroed->clear();
+            return out;
+        }
+        for (const auto &e : f) {
+            out.push_back(e);
+            if (zeroed != nullptr)
+                zeroed->push_back(false);
+        }
+    }
+    return out;
+}
+
+void
+BlockAllocator::free(const Extent &extent, int core, sim::Time now)
+{
+    if (extent.endBlock() > totalBlocks_)
+        throw std::invalid_argument("free beyond device");
+    if (sink_ != nullptr && sink_->onFree(core, now, extent))
+        return; // DaxVM prezero path owns the blocks now
+    insertFree(freeMap_, extent);
+    freeBlocks_ += extent.count;
+}
+
+void
+BlockAllocator::freeZeroed(const Extent &extent)
+{
+    if (extent.endBlock() > totalBlocks_)
+        throw std::invalid_argument("freeZeroed beyond device");
+    insertFree(zeroedMap_, extent);
+    zeroedBlocks_ += extent.count;
+}
+
+std::uint64_t
+BlockAllocator::largestFreeExtent() const
+{
+    std::uint64_t best = 0;
+    for (const auto &[start, len] : freeMap_) {
+        (void)start;
+        if (len > best)
+            best = len;
+    }
+    return best;
+}
+
+double
+BlockAllocator::hugeAlignedFreeFraction() const
+{
+    if (freeBlocks_ == 0)
+        return 0.0;
+    std::uint64_t hugeBlocks = 0;
+    for (const auto &[start, len] : freeMap_) {
+        const std::uint64_t alignedStart =
+            (start + kBlocksPerHuge - 1) / kBlocksPerHuge * kBlocksPerHuge;
+        const std::uint64_t end = start + len;
+        if (alignedStart >= end)
+            continue;
+        const std::uint64_t usable =
+            (end - alignedStart) / kBlocksPerHuge * kBlocksPerHuge;
+        hugeBlocks += usable;
+    }
+    return static_cast<double>(hugeBlocks)
+         / static_cast<double>(freeBlocks_);
+}
+
+} // namespace dax::fs

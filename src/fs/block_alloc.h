@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Extent-based block allocator over the PMem data region.
+ *
+ * Free space is a coalescing map of extents; allocation is best-effort
+ * contiguous (first fit at or after a goal), splitting into multiple
+ * extents when fragmentation forces it - the mechanism by which an
+ * aged image degrades huge-page coverage (paper Sections III/V).
+ *
+ * DaxVM's asynchronous pre-zeroing hooks the *free* path: freed blocks
+ * can be diverted to a PrezeroSink instead of returning to the free
+ * map, and allocation prefers pre-zeroed extents when the caller needs
+ * zeroed blocks (paper Section IV-E: the allocator itself is not
+ * changed, so no extra external fragmentation is induced).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "fs/extent.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace dax::fs {
+
+/** Receives freed extents for asynchronous zeroing (DaxVM). */
+class PrezeroSink
+{
+  public:
+    virtual ~PrezeroSink() = default;
+
+    /**
+     * Offer a freed extent for background zeroing.
+     * @param core the core performing the free (per-core lists)
+     * @param now the current virtual time of the freeing thread
+     * @return true when accepted (the sink now owns the blocks and
+     *         will return them via BlockAllocator::freeZeroed()).
+     */
+    virtual bool onFree(int core, sim::Time now, const Extent &extent) = 0;
+};
+
+class BlockAllocator
+{
+  public:
+    /** Manage blocks [0, nBlocks); block 0 maps to @p baseAddr bytes. */
+    BlockAllocator(std::uint64_t nBlocks, std::uint64_t baseAddr);
+
+    /**
+     * Allocate @p count blocks near @p goal (block number hint).
+     * Returns as few extents as fragmentation allows; empty on ENOSPC
+     * (partial allocations are rolled back).
+     * @param zeroed outputs per returned extent whether it comes
+     *        pre-zeroed (from the prezero pool)
+     */
+    std::vector<Extent> alloc(std::uint64_t count, std::uint64_t goal,
+                              std::vector<bool> *zeroed = nullptr,
+                              bool preferHugeAligned = false);
+
+    /**
+     * Free an extent. When a PrezeroSink is installed and accepts it,
+     * the blocks bypass the free map until freeZeroed().
+     */
+    void free(const Extent &extent, int core = 0, sim::Time now = 0);
+
+    /** Return blocks zeroed by the prezero daemon to the zeroed pool. */
+    void freeZeroed(const Extent &extent);
+
+    /** Install (or remove, nullptr) the DaxVM prezero sink. */
+    void setPrezeroSink(PrezeroSink *sink) { sink_ = sink; }
+
+    /** Physical byte address of @p block. */
+    std::uint64_t
+    blockAddr(std::uint64_t block) const
+    {
+        return baseAddr_ + block * kBlockSize;
+    }
+
+    // Introspection -----------------------------------------------------
+    std::uint64_t freeBlocks() const { return freeBlocks_; }
+    std::uint64_t zeroedBlocks() const { return zeroedBlocks_; }
+    std::uint64_t totalBlocks() const { return totalBlocks_; }
+    std::uint64_t freeExtents() const { return freeMap_.size(); }
+    std::uint64_t largestFreeExtent() const;
+
+    /**
+     * Fraction of free space sitting in 2 MB-aligned fully-free huge
+     * chunks - the aging/fragmentation health metric.
+     */
+    double hugeAlignedFreeFraction() const;
+
+  private:
+    std::vector<Extent> carve(std::map<std::uint64_t, std::uint64_t> &map,
+                              std::uint64_t count, std::uint64_t goal,
+                              std::uint64_t &pool, bool hugeAligned);
+    void insertFree(std::map<std::uint64_t, std::uint64_t> &map,
+                    const Extent &extent);
+
+    std::uint64_t totalBlocks_;
+    std::uint64_t baseAddr_;
+    /** start block -> length (blocks), coalesced. */
+    std::map<std::uint64_t, std::uint64_t> freeMap_;
+    /** pre-zeroed extents ready for zero-demanding allocations. */
+    std::map<std::uint64_t, std::uint64_t> zeroedMap_;
+    std::uint64_t freeBlocks_ = 0;
+    std::uint64_t zeroedBlocks_ = 0;
+    PrezeroSink *sink_ = nullptr;
+};
+
+} // namespace dax::fs

@@ -1,0 +1,391 @@
+/**
+ * @file
+ * FileSystem implementation.
+ */
+#include "fs/file_system.h"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace dax::fs {
+
+FileSystem::FileSystem(Personality personality, mem::Device &pmem,
+                       std::uint64_t dataBase, std::uint64_t dataBytes,
+                       const sim::CostModel &cm)
+    : pmem_(pmem), cm_(cm),
+      alloc_(dataBytes / kBlockSize, dataBase),
+      journal_(personality, cm)
+{
+    if (dataBase % kBlockSize != 0 || dataBytes % kBlockSize != 0)
+        throw std::invalid_argument("fs region not block aligned");
+}
+
+Ino
+FileSystem::create(sim::Cpu &cpu, const std::string &path)
+{
+    if (names_.count(path) != 0)
+        throw std::invalid_argument("create: path exists: " + path);
+    cpu.advance(cm_.openBase);
+    const Ino ino = nextIno_++;
+    auto node = std::make_unique<Inode>();
+    node->ino = ino;
+    node->path = path;
+    inodes_.emplace(ino, std::move(node));
+    names_.emplace(path, ino);
+    journal_.markDirty(ino);
+    stats_.inc("fs.creates");
+    return ino;
+}
+
+bool
+FileSystem::unlink(sim::Cpu &cpu, const std::string &path)
+{
+    auto it = names_.find(path);
+    if (it == names_.end())
+        return false;
+    const Ino ino = it->second;
+    Inode &node = inode(ino);
+    cpu.advance(cm_.openBase);
+    freeAll(cpu, node, 0);
+    journal_.markDirty(ino);
+    journal_.commit(cpu, ino);
+    for (auto *h : hooks_)
+        h->onInodeEvict(node);
+    names_.erase(it);
+    inodes_.erase(ino);
+    stats_.inc("fs.unlinks");
+    return true;
+}
+
+std::optional<Ino>
+FileSystem::lookupPath(const std::string &path) const
+{
+    auto it = names_.find(path);
+    if (it == names_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+std::vector<std::string>
+FileSystem::list(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (auto it = names_.lower_bound(prefix); it != names_.end(); ++it) {
+        if (it->first.compare(0, prefix.size(), prefix) != 0)
+            break;
+        out.push_back(it->first);
+    }
+    return out;
+}
+
+Inode &
+FileSystem::inode(Ino ino)
+{
+    auto it = inodes_.find(ino);
+    if (it == inodes_.end())
+        throw std::invalid_argument("no such inode");
+    return *it->second;
+}
+
+const Inode &
+FileSystem::inode(Ino ino) const
+{
+    auto it = inodes_.find(ino);
+    if (it == inodes_.end())
+        throw std::invalid_argument("no such inode");
+    return *it->second;
+}
+
+void
+FileSystem::chargeExtentLookup(sim::Cpu &cpu, const Inode &node) const
+{
+    // Extent-tree depth grows with fragmentation: one lookup step per
+    // ~340 extents per node level in ext4; model as log-ish steps.
+    std::size_t extents = node.extents.size();
+    unsigned steps = 1;
+    while (extents > 340) {
+        extents /= 340;
+        steps++;
+    }
+    cpu.advance(cm_.extentLookup * steps);
+}
+
+void
+FileSystem::zeroExtents(sim::Cpu &cpu, const std::vector<Extent> &extents,
+                        const std::vector<bool> &alreadyZeroed)
+{
+    for (std::size_t i = 0; i < extents.size(); i++) {
+        if (i < alreadyZeroed.size() && alreadyZeroed[i]) {
+            stats_.inc("fs.prezeroed_blocks", extents[i].count);
+            continue; // pre-zeroed by the DaxVM daemon
+        }
+        const Extent &e = extents[i];
+        pmem_.zero(alloc_.blockAddr(e.block), e.bytes());
+        pmem_.writeKernel(cpu, alloc_.blockAddr(e.block), e.bytes(),
+                          mem::WriteMode::NtStore, mem::Pattern::Seq);
+        stats_.inc("fs.zeroed_blocks", e.count);
+    }
+}
+
+bool
+FileSystem::extendTo(sim::Cpu &cpu, Inode &node, std::uint64_t newBlocks,
+                     ZeroPolicy zeroPolicy, bool markUnwritten)
+{
+    const std::uint64_t have = node.allocatedBlocks();
+    if (newBlocks <= have)
+        return true;
+    const std::uint64_t need = newBlocks - have;
+
+    // Goal-directed: continue after the file's last extent.
+    std::uint64_t goal = 0;
+    if (!node.extents.empty())
+        goal = std::prev(node.extents.end())->second.endBlock();
+
+    std::vector<bool> zeroed;
+    auto got = alloc_.alloc(need, goal, &zeroed,
+                            /*preferHugeAligned=*/need >= kBlocksPerHuge);
+    if (got.empty())
+        return false; // ENOSPC
+    cpu.advance(cm_.blockAllocOp * got.size());
+    stats_.inc("fs.block_allocs", got.size());
+
+    if (zeroPolicy == ZeroPolicy::Synchronous)
+        zeroExtents(cpu, got, zeroed);
+
+    if (markUnwritten)
+        intervalInsert(node.unwritten, have, need);
+
+    // Append extents to the tree, merging physically contiguous runs.
+    std::uint64_t fileBlock = have;
+    for (const auto &e : got) {
+        bool merged = false;
+        if (!node.extents.empty()) {
+            auto last = std::prev(node.extents.end());
+            if (last->second.endBlock() == e.block
+                && last->first + last->second.count == fileBlock) {
+                last->second.count += e.count;
+                merged = true;
+            }
+        }
+        if (!merged)
+            node.extents.emplace(fileBlock, e);
+        node.allocatedCount += e.count;
+        for (auto *h : hooks_)
+            h->onBlocksAllocated(cpu, node, fileBlock, e);
+        fileBlock += e.count;
+    }
+    journal_.markDirty(node.ino);
+    return true;
+}
+
+void
+FileSystem::freeAll(sim::Cpu &cpu, Inode &node, std::uint64_t fromBlock)
+{
+    // Collect extents at/after fromBlock, splitting the boundary one.
+    std::vector<std::pair<std::uint64_t, Extent>> toFree;
+    for (auto it = node.extents.begin(); it != node.extents.end();) {
+        const std::uint64_t start = it->first;
+        Extent &e = it->second;
+        if (start + e.count <= fromBlock) {
+            ++it;
+            continue;
+        }
+        if (start < fromBlock) {
+            const std::uint64_t keep = fromBlock - start;
+            Extent tail{e.block + keep, e.count - keep};
+            e.count = keep;
+            toFree.emplace_back(fromBlock, tail);
+            ++it;
+        } else {
+            toFree.emplace_back(start, e);
+            it = node.extents.erase(it);
+        }
+    }
+    intervalErase(node.unwritten, fromBlock,
+                  ~0ULL - fromBlock); // drop unwritten state beyond
+    for (auto &[fileBlock, e] : toFree) {
+        for (auto *h : hooks_)
+            h->onBlocksFreeing(cpu, node, fileBlock, e);
+        cpu.advance(cm_.blockAllocOp);
+        node.allocatedCount -= e.count;
+        alloc_.free(e, cpu.coreId(), cpu.now());
+        stats_.inc("fs.blocks_freed", e.count);
+    }
+}
+
+std::uint64_t
+FileSystem::write(sim::Cpu &cpu, Ino ino, std::uint64_t off, const void *src,
+                  std::uint64_t len)
+{
+    Inode &node = inode(ino);
+    cpu.advance(cm_.syscall);
+    if (len == 0)
+        return 0;
+
+    const std::uint64_t end = off + len;
+    const std::uint64_t endBlocks = (end + kBlockSize - 1) / kBlockSize;
+    if (endBlocks > node.allocatedBlocks()) {
+        // Append path. ext4-DAX conservatively zeroes new blocks even
+        // here; NOVA skips it because ntstores overwrite them anyway.
+        const ZeroPolicy policy =
+            journal_.personality() == Personality::Ext4Dax
+                ? ZeroPolicy::Synchronous
+                : ZeroPolicy::None;
+        if (!extendTo(cpu, node, endBlocks, policy,
+                      /*markUnwritten=*/false)) {
+            return 0; // ENOSPC
+        }
+    }
+
+    // Writes convert any unwritten blocks they cover (metadata
+    // change, committed lazily unless fsync'ed).
+    {
+        const std::uint64_t firstBlock = off / kBlockSize;
+        const std::uint64_t lastBlock = (end - 1) / kBlockSize;
+        if (intervalErase(node.unwritten, firstBlock,
+                          lastBlock - firstBlock + 1)
+            > 0) {
+            journal_.markDirty(ino);
+        }
+    }
+
+    // Copy user data into PMem with non-temporal stores (kernel copy).
+    std::uint64_t done = 0;
+    while (done < len) {
+        const std::uint64_t fileBlock = (off + done) / kBlockSize;
+        const std::uint64_t inBlock = (off + done) % kBlockSize;
+        const auto run = node.find(fileBlock);
+        if (!run)
+            throw std::logic_error("write: unmapped file block");
+        chargeExtentLookup(cpu, node);
+        const std::uint64_t runBytes = run->count * kBlockSize - inBlock;
+        const std::uint64_t chunk = std::min(len - done, runBytes);
+        const std::uint64_t pa =
+            alloc_.blockAddr(run->physBlock) + inBlock;
+        if (src != nullptr) {
+            pmem_.store(pa, static_cast<const std::uint8_t *>(src) + done,
+                        chunk);
+        }
+        pmem_.writeKernel(cpu, pa, chunk, mem::WriteMode::NtStore,
+                          chunk >= kBlockSize ? mem::Pattern::Seq
+                                              : mem::Pattern::Rand);
+        done += chunk;
+    }
+    if (end > node.size) {
+        node.size = end;
+        journal_.markDirty(ino);
+    }
+    stats_.inc("fs.write_bytes", len);
+    return len;
+}
+
+std::uint64_t
+FileSystem::read(sim::Cpu &cpu, Ino ino, std::uint64_t off, void *dst,
+                 std::uint64_t len, bool seq)
+{
+    Inode &node = inode(ino);
+    cpu.advance(cm_.syscall);
+    if (off >= node.size)
+        return 0;
+    len = std::min(len, node.size - off);
+
+    std::uint64_t done = 0;
+    while (done < len) {
+        const std::uint64_t fileBlock = (off + done) / kBlockSize;
+        const std::uint64_t inBlock = (off + done) % kBlockSize;
+        const auto run = node.find(fileBlock);
+        if (!run)
+            throw std::logic_error("read: hole in file");
+        chargeExtentLookup(cpu, node);
+        const std::uint64_t runBytes = run->count * kBlockSize - inBlock;
+        const std::uint64_t chunk = std::min(len - done, runBytes);
+        const std::uint64_t pa =
+            alloc_.blockAddr(run->physBlock) + inBlock;
+        if (dst != nullptr) {
+            pmem_.fetch(pa, static_cast<std::uint8_t *>(dst) + done,
+                        chunk);
+        }
+        pmem_.readKernel(cpu, pa, chunk,
+                         seq ? mem::Pattern::Seq : mem::Pattern::Rand);
+        done += chunk;
+    }
+    stats_.inc("fs.read_bytes", len);
+    return len;
+}
+
+bool
+FileSystem::fallocate(sim::Cpu &cpu, Ino ino, std::uint64_t off,
+                      std::uint64_t len)
+{
+    Inode &node = inode(ino);
+    cpu.advance(cm_.syscall);
+    const std::uint64_t endBlocks =
+        (off + len + kBlockSize - 1) / kBlockSize;
+    // The secure-mmap path: blocks must be zeroed before user-space may
+    // map them, on both personalities (paper Section III-B); the new
+    // extents are "unwritten" until first write converts them.
+    if (!extendTo(cpu, node, endBlocks, ZeroPolicy::Synchronous,
+                  /*markUnwritten=*/true)) {
+        return false;
+    }
+    if (off + len > node.size) {
+        node.size = off + len;
+        journal_.markDirty(ino);
+    }
+    stats_.inc("fs.fallocates");
+    return true;
+}
+
+void
+FileSystem::ftruncate(sim::Cpu &cpu, Ino ino, std::uint64_t newSize)
+{
+    Inode &node = inode(ino);
+    cpu.advance(cm_.syscall);
+    const std::uint64_t newBlocks =
+        (newSize + kBlockSize - 1) / kBlockSize;
+    if (newBlocks < node.allocatedBlocks())
+        freeAll(cpu, node, newBlocks);
+    node.size = newSize;
+    journal_.markDirty(ino);
+    stats_.inc("fs.truncates");
+}
+
+void
+FileSystem::fsync(sim::Cpu &cpu, Ino ino)
+{
+    cpu.advance(cm_.syscall);
+    journal_.commit(cpu, ino);
+    stats_.inc("fs.fsyncs");
+}
+
+bool
+FileSystem::fallocateSetup(Ino ino, std::uint64_t len)
+{
+    Inode &node = inode(ino);
+    sim::Cpu scratch(nullptr, -1, 0);
+    const std::uint64_t endBlocks = (len + kBlockSize - 1) / kBlockSize;
+    if (!extendTo(scratch, node, endBlocks, ZeroPolicy::None,
+                  /*markUnwritten=*/false)) {
+        return false;
+    }
+    if (len > node.size)
+        node.size = len;
+    return true;
+}
+
+void
+FileSystem::notifyEvict(Inode &inode)
+{
+    for (auto *h : hooks_)
+        h->onInodeEvict(inode);
+}
+
+void
+FileSystem::removeHooks(FsHooks *hooks)
+{
+    hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hooks),
+                 hooks_.end());
+}
+
+} // namespace dax::fs

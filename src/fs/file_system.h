@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The DAX file system: ext4-DAX and NOVA personalities over the PMem
+ * device.
+ *
+ * Functional: file bytes really live in PMem device memory, the extent
+ * tree really maps file blocks to physical blocks, unlink really frees
+ * (and pre-zeroing really zeroes) blocks. Timed: every operation
+ * charges the calling Cpu according to the cost model.
+ *
+ * Personality differences (paper Sections III-B, V-B):
+ *  - ext4-DAX zeroes newly allocated blocks even on the write-syscall
+ *    path; NOVA does not (it zeroes only on fallocate for secure DAX
+ *    mmap).
+ *  - ext4 metadata commits are serialized jbd2 transactions; NOVA
+ *    commits are cheap in-place log appends (MAP_SYNC ~ free).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fs/block_alloc.h"
+#include "fs/inode.h"
+#include "fs/journal.h"
+#include "mem/device.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/stats.h"
+
+namespace dax::fs {
+
+/**
+ * Observer interface for subsystems (DaxVM file tables, the VM layer)
+ * that must react to storage (de)allocation.
+ */
+class FsHooks
+{
+  public:
+    virtual ~FsHooks() = default;
+
+    /** Blocks were just allocated to @p inode at @p fileBlock. */
+    virtual void onBlocksAllocated(sim::Cpu &cpu, Inode &inode,
+                                   std::uint64_t fileBlock,
+                                   const Extent &extent) = 0;
+
+    /**
+     * Blocks of @p inode are about to be freed (truncate/unlink).
+     * Mappings must be torn down synchronously (paper Section IV-C:
+     * "DaxVM maintains safety by synchronously forcing unmappings if
+     * storage blocks are reclaimed").
+     */
+    virtual void onBlocksFreeing(sim::Cpu &cpu, Inode &inode,
+                                 std::uint64_t fileBlock,
+                                 const Extent &extent) = 0;
+
+    /** The VFS evicted @p inode from its cache (volatile state dies). */
+    virtual void onInodeEvict(Inode &inode) = 0;
+};
+
+class FileSystem
+{
+  public:
+    /**
+     * @param personality ext4-DAX or NOVA behaviour
+     * @param pmem the PMem device holding file data
+     * @param dataBase byte offset of the data region within the device
+     * @param dataBytes size of the data region
+     */
+    FileSystem(Personality personality, mem::Device &pmem,
+               std::uint64_t dataBase, std::uint64_t dataBytes,
+               const sim::CostModel &cm);
+
+    Personality personality() const { return journal_.personality(); }
+
+    // ------------------------------------------------------------------
+    // Namespace
+    // ------------------------------------------------------------------
+
+    /** Create an empty file. @return its inode number. */
+    Ino create(sim::Cpu &cpu, const std::string &path);
+
+    /** Remove a file, freeing its blocks. @return false if absent. */
+    bool unlink(sim::Cpu &cpu, const std::string &path);
+
+    /** Path -> inode (functional, no timing). */
+    std::optional<Ino> lookupPath(const std::string &path) const;
+
+    /** All paths with the given prefix (directory walk). */
+    std::vector<std::string> list(const std::string &prefix) const;
+
+    // ------------------------------------------------------------------
+    // Data operations (system-call paths)
+    // ------------------------------------------------------------------
+
+    /**
+     * DAX write syscall: copies @p len bytes into the file with
+     * non-temporal stores (synchronously persistent), allocating blocks
+     * past EOF. @p src may be nullptr for cost-only experiments.
+     */
+    std::uint64_t write(sim::Cpu &cpu, Ino ino, std::uint64_t off,
+                        const void *src, std::uint64_t len);
+
+    /** DAX read syscall: copy file bytes into a user buffer. */
+    std::uint64_t read(sim::Cpu &cpu, Ino ino, std::uint64_t off,
+                       void *dst, std::uint64_t len, bool seq = true);
+
+    /**
+     * Allocate blocks for [off, off+len) zeroing them (the secure
+     * mmap-append path). @return false on ENOSPC.
+     */
+    bool fallocate(sim::Cpu &cpu, Ino ino, std::uint64_t off,
+                   std::uint64_t len);
+
+    /** Shrink or grow (sparse-free) a file. */
+    void ftruncate(sim::Cpu &cpu, Ino ino, std::uint64_t newSize);
+
+    /**
+     * Setup-time allocation for workload/aging construction: extends
+     * the file without charging zeroing costs (a fresh simulated
+     * device is already zero). Not part of the modeled API.
+     */
+    bool fallocateSetup(Ino ino, std::uint64_t len);
+
+    /** Notify hooks that @p inode is losing its volatile state. */
+    void notifyEvict(Inode &inode);
+
+    /** Commit metadata (data is already persistent on DAX writes). */
+    void fsync(sim::Cpu &cpu, Ino ino);
+
+    // ------------------------------------------------------------------
+    // Mapping support & introspection
+    // ------------------------------------------------------------------
+
+    Inode &inode(Ino ino);
+    const Inode &inode(Ino ino) const;
+    bool exists(Ino ino) const { return inodes_.count(ino) != 0; }
+
+    /** Physical byte address of @p block. */
+    std::uint64_t blockAddr(std::uint64_t block) const
+    {
+        return alloc_.blockAddr(block);
+    }
+
+    /** Charge the extent-tree lookup cost for one offset resolution. */
+    void chargeExtentLookup(sim::Cpu &cpu, const Inode &inode) const;
+
+    BlockAllocator &allocator() { return alloc_; }
+    Journal &journal() { return journal_; }
+    mem::Device &device() { return pmem_; }
+    sim::StatSet &stats() { return stats_; }
+
+    void addHooks(FsHooks *hooks) { hooks_.push_back(hooks); }
+    void removeHooks(FsHooks *hooks);
+
+    /** Zero freshly allocated extents, charging the device. */
+    void zeroExtents(sim::Cpu &cpu, const std::vector<Extent> &extents,
+                     const std::vector<bool> &alreadyZeroed);
+
+  private:
+    /**
+     * Allocate blocks so the file covers [off, off+len).
+     * @param zeroPolicy whether new blocks must end up zeroed and who
+     *        pays (write syscall overwrites them anyway on NOVA)
+     * @return newly allocated extents (empty also when nothing needed)
+     */
+    enum class ZeroPolicy { None, Synchronous };
+    bool extendTo(sim::Cpu &cpu, Inode &node, std::uint64_t newBlocks,
+                  ZeroPolicy zeroPolicy, bool markUnwritten);
+
+    void freeAll(sim::Cpu &cpu, Inode &node, std::uint64_t fromBlock);
+
+    mem::Device &pmem_;
+    const sim::CostModel &cm_;
+    BlockAllocator alloc_;
+    Journal journal_;
+    std::map<std::string, Ino> names_;
+    std::map<Ino, std::unique_ptr<Inode>> inodes_;
+    Ino nextIno_ = 1;
+    std::vector<FsHooks *> hooks_;
+    sim::StatSet stats_;
+};
+
+} // namespace dax::fs

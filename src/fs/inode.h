@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Inode metadata: size + extent tree mapping file blocks to physical
+ * blocks, plus an opaque per-inode private slot where DaxVM hangs its
+ * file tables without the fs layer depending on daxvm.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "fs/extent.h"
+#include "fs/interval.h"
+
+namespace dax::fs {
+
+using Ino = std::uint64_t;
+
+/** Base class for subsystem-private per-inode state (DaxVM tables). */
+struct InodePrivate
+{
+    virtual ~InodePrivate() = default;
+};
+
+struct Inode
+{
+    Ino ino = 0;
+    std::string path;
+    std::uint64_t size = 0;
+    /** first file block -> physical extent, sorted. */
+    std::map<std::uint64_t, Extent> extents;
+    /** open file handles / mappings pinning the inode. */
+    std::uint32_t pins = 0;
+    /**
+     * fallocate'd-but-never-written blocks (ext4 "unwritten"
+     * extents). Converting them on first write dirties metadata; with
+     * MAP_SYNC the conversion commits the journal synchronously - the
+     * per-fault cost behind the paper's aged-image YCSB results.
+     */
+    IntervalMap unwritten;
+    /** DaxVM (or other) private state; destroyed with the inode. */
+    std::unique_ptr<InodePrivate> priv;
+
+    std::uint64_t sizeBlocks() const
+    {
+        return (size + kBlockSize - 1) / kBlockSize;
+    }
+
+    /**
+     * Blocks actually allocated (>= sizeBlocks after fallocate).
+     * Maintained as a counter by the file system: this is on the
+     * per-write fast path and must not walk the extent tree.
+     */
+    std::uint64_t allocatedBlocks() const { return allocatedCount; }
+
+    /** Allocation counter (file-system internal; see above). */
+    std::uint64_t allocatedCount = 0;
+
+    /**
+     * Find the extent covering @p fileBlock.
+     * @return {physical block, run length from fileBlock} or nullopt.
+     */
+    struct Run
+    {
+        std::uint64_t physBlock;
+        std::uint64_t count;
+    };
+
+    std::optional<Run>
+    find(std::uint64_t fileBlock) const
+    {
+        auto it = extents.upper_bound(fileBlock);
+        if (it == extents.begin())
+            return std::nullopt;
+        --it;
+        const std::uint64_t start = it->first;
+        const Extent &e = it->second;
+        if (fileBlock >= start + e.count)
+            return std::nullopt;
+        const std::uint64_t off = fileBlock - start;
+        return Run{e.block + off, e.count - off};
+    }
+};
+
+} // namespace dax::fs

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Coalescing interval map helpers (start -> count), used for unwritten
+ * extent tracking in inodes and dirty-page tracking in the VM layer.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+
+namespace dax::fs {
+
+using IntervalMap = std::map<std::uint64_t, std::uint64_t>;
+
+/** Insert [start, start+count), merging with neighbours. */
+inline void
+intervalInsert(IntervalMap &map, std::uint64_t start, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    std::uint64_t end = start + count;
+    auto it = map.upper_bound(start);
+    if (it != map.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second >= start) {
+            start = prev->first;
+            end = std::max(end, prev->first + prev->second);
+            it = map.erase(prev);
+        }
+    }
+    while (it != map.end() && it->first <= end) {
+        end = std::max(end, it->first + it->second);
+        it = map.erase(it);
+    }
+    map.emplace(start, end - start);
+}
+
+/**
+ * Remove any part of [start, start+count) present in the map.
+ * @return number of units removed (0 when nothing overlapped).
+ */
+inline std::uint64_t
+intervalErase(IntervalMap &map, std::uint64_t start, std::uint64_t count)
+{
+    if (count == 0)
+        return 0;
+    const std::uint64_t end = start + count;
+    std::uint64_t removed = 0;
+    auto it = map.upper_bound(start);
+    if (it != map.begin())
+        --it;
+    while (it != map.end() && it->first < end) {
+        const std::uint64_t s = it->first;
+        const std::uint64_t e = s + it->second;
+        if (e <= start) {
+            ++it;
+            continue;
+        }
+        const std::uint64_t cutLo = std::max(s, start);
+        const std::uint64_t cutHi = std::min(e, end);
+        removed += cutHi - cutLo;
+        it = map.erase(it);
+        if (s < cutLo)
+            map.emplace(s, cutLo - s);
+        if (e > cutHi)
+            it = map.emplace(cutHi, e - cutHi).first;
+    }
+    return removed;
+}
+
+/** True when any unit of [start, start+count) is present. */
+inline bool
+intervalOverlaps(const IntervalMap &map, std::uint64_t start,
+                 std::uint64_t count)
+{
+    const std::uint64_t end = start + count;
+    auto it = map.upper_bound(start);
+    if (it != map.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second > start)
+            return true;
+    }
+    return it != map.end() && it->first < end;
+}
+
+/** Total units stored. */
+inline std::uint64_t
+intervalTotal(const IntervalMap &map)
+{
+    std::uint64_t total = 0;
+    for (const auto &[start, count] : map) {
+        (void)start;
+        total += count;
+    }
+    return total;
+}
+
+} // namespace dax::fs

@@ -1,0 +1,10 @@
+/**
+ * @file
+ * Journal is header-only; TU kept for symmetry and future non-inline
+ * paths (checkpointing, transaction batching experiments).
+ */
+#include "fs/journal.h"
+
+namespace dax::fs {
+// Intentionally empty.
+} // namespace dax::fs

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * LATR implementation.
+ */
+#include "latr/latr.h"
+
+namespace dax::latr {
+
+namespace {
+
+/** Enqueue cost per target core (descriptor write + bookkeeping). */
+constexpr sim::Time kEnqueuePerCore = 180;
+/** Sweep base cost at a scheduling boundary. */
+constexpr sim::Time kSweepBase = 150;
+/** Per-invalidation apply cost (local INVLPG-equivalent). */
+constexpr sim::Time kApplyPerPage = 90;
+
+} // namespace
+
+Latr::Latr(const sim::CostModel &cm, arch::ShootdownHub &hub,
+           unsigned nCores)
+    : cm_(cm), hub_(hub), pending_(nCores)
+{
+}
+
+void
+Latr::lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
+                    arch::Asid asid,
+                    const std::vector<std::uint64_t> &pages)
+{
+    // LATR's shared state is protected by its own lock, which is the
+    // contention the paper observed.
+    sim::ScopedLock guard(stateLock_, cpu);
+    const int self = cpu.coreId();
+
+    // Local invalidation is immediate.
+    for (const auto page : pages) {
+        hub_.mmu(self).tlb().invalidatePage(page, asid);
+        cpu.advance(cm_.invlpg);
+    }
+
+    for (unsigned c = 0; c < pending_.size(); c++) {
+        if (static_cast<int>(c) == self
+            || (targets & arch::coreBit(static_cast<int>(c))) == 0) {
+            continue;
+        }
+        cpu.advance(kEnqueuePerCore);
+        for (const auto page : pages)
+            pending_[c].push_back({asid, page});
+        lazyCount_ += pages.size();
+    }
+}
+
+void
+Latr::drain(sim::Cpu &cpu)
+{
+    auto &mine = pending_.at(static_cast<unsigned>(cpu.coreId()));
+    if (mine.empty())
+        return;
+    sim::ScopedLock guard(stateLock_, cpu);
+    cpu.advance(kSweepBase);
+    for (const auto &p : mine) {
+        hub_.mmu(cpu.coreId()).tlb().invalidatePage(p.page, p.asid);
+        cpu.advance(kApplyPerPage);
+    }
+    mine.clear();
+}
+
+bool
+Latr::munmapLazy(sim::Cpu &cpu, vm::AddressSpace &as, std::uint64_t va)
+{
+    cpu.advance(cm_.syscall);
+    sim::ScopedWriteLock guard(as.mmapSem(), cpu);
+    vm::Vma *vma = as.findVma(va);
+    if (vma == nullptr)
+        return false;
+    std::vector<std::uint64_t> pages;
+    const std::uint64_t start = vma->start;
+    as.zapRange(cpu, *vma, vma->start, vma->end, pages);
+    cpu.advance(cm_.vmaFree);
+    as.vmm().unregisterMapping(vma->ino, &as, start);
+    as.eraseVma(start);
+    lazyShootdown(cpu, as.cpuMask(), as.asid(), pages);
+    return true;
+}
+
+} // namespace dax::latr

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * LATR baseline (Kumar et al., ASPLOS'18): lazy TLB coherence via
+ * message passing instead of IPIs.
+ *
+ * munmap enqueues invalidation descriptors into per-core LATR states
+ * that victims apply at their next scheduling boundary; no IPIs are
+ * sent. The paper's evaluation (Section V-C1) finds LATR's own
+ * status-tracking lock contends - modeled here as a global mutex on
+ * the descriptor state - and that it helps ~10% at 8 cores but does
+ * not scale further.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/shootdown.h"
+#include "sim/cost_model.h"
+#include "sim/locks.h"
+#include "vm/address_space.h"
+
+namespace dax::latr {
+
+class Latr
+{
+  public:
+    Latr(const sim::CostModel &cm, arch::ShootdownHub &hub,
+         unsigned nCores);
+
+    /**
+     * LATR replacement of the shootdown: record lazy invalidations for
+     * every core in @p targets; no IPI.
+     */
+    void lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
+                       arch::Asid asid,
+                       const std::vector<std::uint64_t> &pages);
+
+    /**
+     * Apply pending invalidations for the calling core (the context
+     * switch / scheduling-boundary sweep). Workloads using LATR call
+     * this at quantum start.
+     */
+    void drain(sim::Cpu &cpu);
+
+    /**
+     * Whole-VMA munmap that tears down translations but replaces the
+     * synchronous shootdown with LATR lazy invalidation.
+     */
+    bool munmapLazy(sim::Cpu &cpu, vm::AddressSpace &as,
+                    std::uint64_t va);
+
+    std::uint64_t lazyInvalidations() const { return lazyCount_; }
+
+  private:
+    struct Pending
+    {
+        arch::Asid asid;
+        std::uint64_t page;
+    };
+
+    const sim::CostModel &cm_;
+    arch::ShootdownHub &hub_;
+    sim::Mutex stateLock_{"latr_state"};
+    std::vector<std::vector<Pending>> pending_; // per core
+    std::uint64_t lazyCount_ = 0;
+};
+
+} // namespace dax::latr

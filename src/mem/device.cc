@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Device implementation.
+ */
+#include "mem/device.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace dax::mem {
+
+namespace {
+
+const char *
+kindName(Kind k)
+{
+    return k == Kind::Dram ? "dram" : "pmem";
+}
+
+} // namespace
+
+Device::Device(Kind kind, std::uint64_t capacity, const sim::CostModel &cm,
+               Backing backing)
+    : kind_(kind), capacity_(capacity), cm_(cm), backing_(backing),
+      readRes_(std::string(kindName(kind)) + ".read",
+               kind == Kind::Dram ? cm.dramDeviceBw : cm.pmemDeviceReadBw),
+      writeRes_(std::string(kindName(kind)) + ".write",
+                kind == Kind::Dram ? cm.dramDeviceBw
+                                   : cm.pmemDeviceWriteBw)
+{
+    if (capacity % kPageSize != 0)
+        throw std::invalid_argument("device capacity not page aligned");
+    if (backing_ == Backing::Full)
+        data_.assign(capacity_, 0);
+}
+
+const std::uint8_t *
+Device::sparsePage(Paddr addr) const
+{
+    auto it = sparse_.find(addr / kPageSize);
+    return it == sparse_.end() ? nullptr : it->second.get();
+}
+
+std::uint8_t *
+Device::sparsePageForWrite(Paddr addr)
+{
+    auto &slot = sparse_[addr / kPageSize];
+    if (!slot) {
+        slot = std::make_unique<std::uint8_t[]>(kPageSize);
+        std::memset(slot.get(), 0, kPageSize);
+    }
+    return slot.get();
+}
+
+void
+Device::checkRange(Paddr addr, std::uint64_t bytes) const
+{
+    if (addr > capacity_ || bytes > capacity_ - addr)
+        throw std::out_of_range("device access out of range");
+}
+
+sim::Time
+Device::read(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes, Pattern pattern)
+{
+    checkRange(addr, bytes);
+    const sim::Bw bw = kind_ == Kind::Dram ? cm_.dramReadBwCore
+                                           : cm_.pmemReadBwCore;
+    sim::Time elapsed = 0;
+    if (pattern == Pattern::Rand) {
+        // Latency-dominated: one uncached line fetch up front, the rest
+        // streams behind it.
+        elapsed += loadLatency();
+        cpu.advance(loadLatency());
+    }
+    elapsed += readRes_.transfer(cpu, bytes, bw);
+    return elapsed;
+}
+
+sim::Time
+Device::write(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes, WriteMode mode,
+              Pattern pattern)
+{
+    checkRange(addr, bytes);
+    sim::Time elapsed = 0;
+    switch (mode) {
+      case WriteMode::Cached: {
+        // Stores land in the cache; the medium sees traffic only on
+        // eviction, which we fold into a generous cache bandwidth.
+        const sim::Bw bw = cm_.dramWriteBwCore;
+        const sim::Time dur = sim::CostModel::xfer(bytes, bw);
+        cpu.advance(dur);
+        elapsed = dur;
+        break;
+      }
+      case WriteMode::NtStore: {
+        const sim::Bw bw = kind_ == Kind::Dram ? cm_.dramWriteBwCore
+                                               : cm_.pmemNtStoreBwCore;
+        if (pattern == Pattern::Rand) {
+            elapsed += loadLatency();
+            cpu.advance(loadLatency());
+        }
+        elapsed += writeRes_.transfer(cpu, bytes, bw);
+        break;
+      }
+      case WriteMode::CachedFlush: {
+        const sim::Bw bw = kind_ == Kind::Dram ? cm_.dramWriteBwCore
+                                               : cm_.pmemClwbBwCore;
+        elapsed += writeRes_.transfer(cpu, bytes, bw);
+        break;
+      }
+    }
+    return elapsed;
+}
+
+sim::Time
+Device::readKernel(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes,
+                   Pattern pattern)
+{
+    checkRange(addr, bytes);
+    const sim::Bw bw = (kind_ == Kind::Dram ? cm_.dramReadBwCore
+                                            : cm_.pmemReadBwCore)
+                     * cm_.kernelCopyFactor;
+    sim::Time elapsed = 0;
+    if (pattern == Pattern::Rand) {
+        elapsed += loadLatency();
+        cpu.advance(loadLatency());
+    }
+    elapsed += readRes_.transfer(cpu, bytes, bw);
+    return elapsed;
+}
+
+sim::Time
+Device::writeKernel(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes,
+                    WriteMode mode, Pattern pattern)
+{
+    checkRange(addr, bytes);
+    sim::Bw bw;
+    switch (mode) {
+      case WriteMode::Cached:
+        bw = cm_.dramWriteBwCore;
+        break;
+      case WriteMode::NtStore:
+        bw = kind_ == Kind::Dram ? cm_.dramWriteBwCore
+                                 : cm_.pmemNtStoreBwCore;
+        break;
+      case WriteMode::CachedFlush:
+      default:
+        bw = kind_ == Kind::Dram ? cm_.dramWriteBwCore : cm_.pmemClwbBwCore;
+        break;
+    }
+    bw *= cm_.kernelCopyFactor;
+    sim::Time elapsed = 0;
+    if (pattern == Pattern::Rand && mode != WriteMode::Cached) {
+        elapsed += loadLatency();
+        cpu.advance(loadLatency());
+    }
+    if (mode == WriteMode::Cached) {
+        const sim::Time dur = sim::CostModel::xfer(bytes, bw);
+        cpu.advance(dur);
+        elapsed += dur;
+    } else {
+        elapsed += writeRes_.transfer(cpu, bytes, bw);
+    }
+    return elapsed;
+}
+
+sim::Time
+Device::occupyWrite(sim::Time at, std::uint64_t bytes)
+{
+    return writeRes_.occupy(at, bytes);
+}
+
+sim::Time
+Device::loadLatency() const
+{
+    return kind_ == Kind::Dram ? cm_.dramLoadLat : cm_.pmemLoadLat;
+}
+
+void
+Device::fetch(Paddr addr, void *dst, std::uint64_t bytes) const
+{
+    checkRange(addr, bytes);
+    switch (backing_) {
+      case Backing::Full:
+        std::memcpy(dst, data_.data() + addr, bytes);
+        return;
+      case Backing::None:
+        std::memset(dst, 0, bytes);
+        return;
+      case Backing::Sparse:
+        break;
+    }
+    auto *out = static_cast<std::uint8_t *>(dst);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const Paddr a = addr + done;
+        const std::uint64_t inPage = a % kPageSize;
+        const std::uint64_t chunk =
+            std::min(bytes - done, kPageSize - inPage);
+        if (const std::uint8_t *page = sparsePage(a))
+            std::memcpy(out + done, page + inPage, chunk);
+        else
+            std::memset(out + done, 0, chunk);
+        done += chunk;
+    }
+}
+
+void
+Device::store(Paddr addr, const void *src, std::uint64_t bytes)
+{
+    checkRange(addr, bytes);
+    switch (backing_) {
+      case Backing::Full:
+        std::memcpy(data_.data() + addr, src, bytes);
+        return;
+      case Backing::None:
+        return;
+      case Backing::Sparse:
+        break;
+    }
+    const auto *in = static_cast<const std::uint8_t *>(src);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const Paddr a = addr + done;
+        const std::uint64_t inPage = a % kPageSize;
+        const std::uint64_t chunk =
+            std::min(bytes - done, kPageSize - inPage);
+        std::memcpy(sparsePageForWrite(a) + inPage, in + done, chunk);
+        done += chunk;
+    }
+}
+
+void
+Device::zero(Paddr addr, std::uint64_t bytes)
+{
+    checkRange(addr, bytes);
+    switch (backing_) {
+      case Backing::Full:
+        std::memset(data_.data() + addr, 0, bytes);
+        return;
+      case Backing::None:
+        return;
+      case Backing::Sparse:
+        break;
+    }
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const Paddr a = addr + done;
+        const std::uint64_t inPage = a % kPageSize;
+        const std::uint64_t chunk =
+            std::min(bytes - done, kPageSize - inPage);
+        if (inPage == 0 && chunk == kPageSize) {
+            sparse_.erase(a / kPageSize); // whole page back to zero
+        } else if (sparsePage(a) != nullptr) {
+            std::memset(sparsePageForWrite(a) + inPage, 0, chunk);
+        }
+        done += chunk;
+    }
+}
+
+std::uint64_t
+Device::loadWord(Paddr addr) const
+{
+    std::uint64_t v = 0;
+    fetch(addr, &v, sizeof(v));
+    return v;
+}
+
+void
+Device::storeWord(Paddr addr, std::uint64_t value)
+{
+    store(addr, &value, sizeof(value));
+}
+
+bool
+Device::isZero(Paddr addr, std::uint64_t bytes) const
+{
+    checkRange(addr, bytes);
+    switch (backing_) {
+      case Backing::None:
+        return true;
+      case Backing::Full:
+        for (std::uint64_t i = 0; i < bytes; i++) {
+            if (data_[addr + i] != 0)
+                return false;
+        }
+        return true;
+      case Backing::Sparse:
+        break;
+    }
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const Paddr a = addr + done;
+        const std::uint64_t inPage = a % kPageSize;
+        const std::uint64_t chunk =
+            std::min(bytes - done, kPageSize - inPage);
+        if (const std::uint8_t *page = sparsePage(a)) {
+            for (std::uint64_t i = 0; i < chunk; i++) {
+                if (page[inPage + i] != 0)
+                    return false;
+            }
+        }
+        done += chunk;
+    }
+    return true;
+}
+
+} // namespace dax::mem

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Memory device models: DRAM and PMem (Intel Optane DCPMM, AppDirect).
+ *
+ * A Device is both *functional* (an optionally byte-backed physical
+ * address space, so file data, page tables and zeroing are real and
+ * testable) and *timed* (reads/writes charge latency and occupy shared
+ * bandwidth channels, so saturation across cores emerges).
+ *
+ * PMem asymmetries that the paper's results depend on are first class:
+ * read bandwidth >> write bandwidth, ntstore ~2x the effective
+ * bandwidth of store+clwb, and load latency ~3.5x DRAM.
+ */
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "sim/time.h"
+
+namespace dax::mem {
+
+/** Physical address within a device. */
+using Paddr = std::uint64_t;
+
+inline constexpr std::uint64_t kPageSize = 4096;
+inline constexpr std::uint64_t kHugePageSize = 2 * 1024 * 1024;
+inline constexpr std::uint64_t kCacheLine = 64;
+
+enum class Kind { Dram, Pmem };
+
+/**
+ * Byte-store strategy. Sparse materializes 4 KB host pages on first
+ * write (untouched bytes read zero), keeping multi-GB simulated
+ * devices cheap while page tables and file data stay functional.
+ */
+enum class Backing { None, Sparse, Full };
+
+/** Access pattern hint for the timing model. */
+enum class Pattern { Seq, Rand };
+
+/** How a write reaches the medium. */
+enum class WriteMode
+{
+    /** Regular stores landing in the CPU cache (no persistence). */
+    Cached,
+    /** Non-temporal streaming stores (bypass cache, persistent). */
+    NtStore,
+    /** Regular stores followed by clwb+sfence (persistent). */
+    CachedFlush,
+};
+
+class Device
+{
+  public:
+    /**
+     * @param kind DRAM or PMem timing personality
+     * @param capacity size in bytes (must be page aligned)
+     * @param cm cost model (must outlive the device)
+     * @param backing byte-store strategy (Sparse by default)
+     */
+    Device(Kind kind, std::uint64_t capacity, const sim::CostModel &cm,
+           Backing backing = Backing::Sparse);
+
+    Kind kind() const { return kind_; }
+    std::uint64_t capacity() const { return capacity_; }
+    bool backed() const { return backing_ != Backing::None; }
+    Backing backing() const { return backing_; }
+
+    // ------------------------------------------------------------------
+    // Timed data-path operations
+    // ------------------------------------------------------------------
+
+    /** Timed read of @p bytes at @p addr; @return elapsed time. */
+    sim::Time read(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes,
+                   Pattern pattern);
+
+    /** Timed write; @return elapsed time. */
+    sim::Time write(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes,
+                    WriteMode mode, Pattern pattern);
+
+    /**
+     * Timed kernel-space copy cost adjustment: the kernel cannot use
+     * AVX-512 (paper Section III-C), so its copies run at
+     * kernelCopyFactor of the user bandwidth.
+     */
+    sim::Time readKernel(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes,
+                         Pattern pattern);
+    sim::Time writeKernel(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes,
+                          WriteMode mode, Pattern pattern);
+
+    /** Background-daemon write occupying device bandwidth only. */
+    sim::Time occupyWrite(sim::Time at, std::uint64_t bytes);
+
+    /** One 64 B load latency (page walker leaf fetches etc.). */
+    sim::Time loadLatency() const;
+
+    // ------------------------------------------------------------------
+    // Functional byte store
+    // ------------------------------------------------------------------
+
+    /** Copy bytes out of the device (no timing). */
+    void fetch(Paddr addr, void *dst, std::uint64_t bytes) const;
+
+    /** Copy bytes into the device (no timing). */
+    void store(Paddr addr, const void *src, std::uint64_t bytes);
+
+    /** Zero a range (no timing; pair with write()/occupyWrite()). */
+    void zero(Paddr addr, std::uint64_t bytes);
+
+    /** Read a 64-bit word (page-table entries). */
+    std::uint64_t loadWord(Paddr addr) const;
+
+    /** Write a 64-bit word (page-table entries). */
+    void storeWord(Paddr addr, std::uint64_t value);
+
+    /** True when the whole range is zero (security invariant tests). */
+    bool isZero(Paddr addr, std::uint64_t bytes) const;
+
+    // Channel statistics ------------------------------------------------
+    const sim::Resource &readChannel() const { return readRes_; }
+    const sim::Resource &writeChannel() const { return writeRes_; }
+
+    /** Host pages materialized by the sparse store (footprint). */
+    std::uint64_t sparsePages() const { return sparse_.size(); }
+
+  private:
+    void checkRange(Paddr addr, std::uint64_t bytes) const;
+    /** Sparse page for @p addr; nullptr when never written. */
+    const std::uint8_t *sparsePage(Paddr addr) const;
+    /** Sparse page for @p addr, materializing it. */
+    std::uint8_t *sparsePageForWrite(Paddr addr);
+
+    Kind kind_;
+    std::uint64_t capacity_;
+    const sim::CostModel &cm_;
+    Backing backing_;
+    std::vector<std::uint8_t> data_; // Full backing
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
+        sparse_; // page index -> 4 KB host page
+    sim::Resource readRes_;
+    sim::Resource writeRes_;
+};
+
+} // namespace dax::mem

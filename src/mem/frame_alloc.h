@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Page-frame allocator for metadata pages (process page tables in DRAM,
+ * persistent DaxVM file tables in PMem).
+ *
+ * File *data* blocks are managed by the file system's extent allocator
+ * (fs/block_alloc.h); this allocator hands out single 4 KB frames from
+ * a dedicated region of a device.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/device.h"
+
+namespace dax::mem {
+
+class FrameAllocator
+{
+  public:
+    /**
+     * Manage frames in [base, base+size) of @p dev.
+     * @param base region start (page aligned)
+     * @param size region size in bytes (page aligned)
+     */
+    FrameAllocator(Device &dev, Paddr base, std::uint64_t size);
+
+    /** Allocate one zeroed 4 KB frame. @throws std::bad_alloc on OOM. */
+    Paddr alloc();
+
+    /** Return a frame to the pool. */
+    void free(Paddr frame);
+
+    /** Frames currently handed out. */
+    std::uint64_t allocated() const { return allocated_; }
+
+    /** Total frames managed. */
+    std::uint64_t total() const { return totalFrames_; }
+
+    Device &device() { return dev_; }
+
+  private:
+    Device &dev_;
+    Paddr base_;
+    std::uint64_t totalFrames_;
+    std::uint64_t bump_ = 0;           // next never-used frame index
+    std::vector<Paddr> freeList_;      // recycled frames
+    std::uint64_t allocated_ = 0;
+};
+
+} // namespace dax::mem

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Disjoint busy-interval bookkeeping for queueing models.
+ *
+ * Locks and bandwidth servers cannot use a single "free at" timestamp:
+ * a thread's quantum may acquire a resource late in its own (future)
+ * time, and other threads whose requests fall into the idle gap before
+ * that acquisition must not be made to wait for it. BusyIntervals
+ * records the exact busy periods; a request placed at time t is pushed
+ * past any overlapping periods only.
+ *
+ * Correctness lean on the engine's min-clock order: when a thread
+ * runs, every other thread's clock is ahead of (or equal to) its own,
+ * so all holds that could overlap a new request are already recorded,
+ * and intervals ending before the request time can be pruned.
+ */
+#pragma once
+
+#include <map>
+
+#include "sim/time.h"
+
+namespace dax::sim {
+
+class BusyIntervals
+{
+  public:
+    /** Earliest time >= @p t outside every recorded interval. */
+    Time
+    firstFree(Time t) const
+    {
+        auto it = set_.upper_bound(t);
+        if (it != set_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second > t)
+                t = prev->second;
+        }
+        // Intervals are disjoint but pushing t forward may land in the
+        // next one.
+        while (it != set_.end() && it->first <= t) {
+            if (it->second > t)
+                t = it->second;
+            ++it;
+        }
+        return t;
+    }
+
+    /**
+     * Earliest start >= @p t of a contiguous gap of length @p d.
+     */
+    Time
+    reserveSlot(Time t, Time d) const
+    {
+        Time cur = firstFree(t);
+        for (;;) {
+            auto it = set_.lower_bound(cur);
+            if (it == set_.end() || it->first >= cur + d)
+                return cur;
+            cur = firstFree(it->second);
+        }
+    }
+
+    /** Record a busy period (no-op when empty). */
+    void
+    insert(Time a, Time b)
+    {
+        if (b <= a)
+            return;
+        // Merge with neighbours (overlaps can only come from the
+        // caller's own bookkeeping errors, but merging keeps the map
+        // canonical regardless).
+        auto it = set_.upper_bound(a);
+        if (it != set_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second >= a) {
+                a = prev->first;
+                if (prev->second > b)
+                    b = prev->second;
+                it = set_.erase(prev);
+            }
+        }
+        while (it != set_.end() && it->first <= b) {
+            if (it->second > b)
+                b = it->second;
+            it = set_.erase(it);
+        }
+        set_.emplace(a, b);
+    }
+
+    /** Drop intervals ending at or before @p t (min-clock property). */
+    void
+    pruneBefore(Time t)
+    {
+        auto it = set_.begin();
+        while (it != set_.end() && it->second <= t)
+            it = set_.erase(it);
+    }
+
+    std::size_t size() const { return set_.size(); }
+    bool empty() const { return set_.empty(); }
+
+  private:
+    std::map<Time, Time> set_; ///< start -> end, disjoint
+};
+
+} // namespace dax::sim

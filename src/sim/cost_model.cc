@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cost model validation helpers.
+ */
+#include "sim/cost_model.h"
+
+#include <string>
+#include <vector>
+
+namespace dax::sim {
+
+/**
+ * Check internal consistency of a cost model; returns human-readable
+ * problems (empty when the model is usable). Experiments call this
+ * after applying overrides so typos fail fast instead of producing
+ * nonsense curves.
+ */
+std::vector<std::string>
+validateCostModel(const CostModel &cm)
+{
+    std::vector<std::string> problems;
+    auto require = [&](bool ok, const char *msg) {
+        if (!ok)
+            problems.emplace_back(msg);
+    };
+
+    require(cm.pmemLoadLat >= cm.dramLoadLat,
+            "PMem load latency must be >= DRAM load latency");
+    require(cm.pmemNtStoreBwCore > cm.pmemClwbBwCore,
+            "ntstore bandwidth must exceed store+clwb bandwidth");
+    require(cm.pmemDeviceReadBw > cm.pmemDeviceWriteBw,
+            "Optane read bandwidth must exceed write bandwidth");
+    require(cm.kernelCopyFactor > 0.0 && cm.kernelCopyFactor <= 1.0,
+            "kernelCopyFactor must be in (0, 1]");
+    require(cm.walkLeafPmem > cm.walkLeafDram,
+            "PMem-resident page tables must walk slower than DRAM");
+    require(cm.tlbFlushThreshold > 0, "TLB flush threshold must be > 0");
+    require(cm.ptesPerCacheLine == 8,
+            "x86-64 has exactly 8 PTEs per 64 B cache line");
+    require(cm.asyncUnmapBatchPages > 0,
+            "async unmap batch must be > 0 pages");
+    return problems;
+}
+
+} // namespace dax::sim

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Min-clock deterministic scheduler implementation.
+ */
+#include "sim/engine.h"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace dax::sim {
+
+Engine::Engine(unsigned nCores)
+    : nCores_(nCores)
+{
+    if (nCores == 0)
+        throw std::invalid_argument("Engine needs at least one core");
+}
+
+Engine::~Engine() = default;
+
+Time
+Cpu::pruneHorizon() const
+{
+    return engine_ != nullptr ? engine_->safeHorizon() : now_;
+}
+
+int
+Engine::addInternal(std::unique_ptr<Task> task, int core, bool daemon)
+{
+    const int id = static_cast<int>(threads_.size());
+    int coreId = core;
+    if (coreId < 0) {
+        coreId = static_cast<int>(nextCore_ % nCores_);
+        nextCore_++;
+    }
+    auto state = std::make_unique<ThreadState>(
+        ThreadState{std::move(task), Cpu(this, id, coreId), daemon,
+                    /*parked=*/daemon, /*done=*/false});
+    threads_.push_back(std::move(state));
+    return id;
+}
+
+int
+Engine::addThread(std::unique_ptr<Task> task, int core, Time startAt)
+{
+    const int id = addInternal(std::move(task), core, /*daemon=*/false);
+    threads_.back()->cpu.advanceTo(startAt);
+    return id;
+}
+
+int
+Engine::addDaemon(std::unique_ptr<Task> task, int core)
+{
+    return addInternal(std::move(task), core, /*daemon=*/true);
+}
+
+void
+Engine::wake(int threadId, Time notBefore)
+{
+    auto &t = *threads_.at(threadId);
+    assert(t.daemon && "only daemons park/wake");
+    t.cpu.advanceTo(notBefore);
+    t.parked = false;
+}
+
+void
+Engine::park(int threadId)
+{
+    threads_.at(threadId)->parked = true;
+}
+
+Time
+Engine::run()
+{
+    for (;;) {
+        ThreadState *best = nullptr;
+        unsigned pendingWorkers = 0;
+        for (auto &tp : threads_) {
+            auto &t = *tp;
+            if (!t.daemon && !t.done)
+                pendingWorkers++;
+            if (t.done || t.parked)
+                continue;
+            if (best == nullptr || t.cpu.now() < best->cpu.now())
+                best = &t;
+        }
+        if (pendingWorkers == 0)
+            break;
+        if (best == nullptr) {
+            // Only parked daemons remain but workers are "pending":
+            // cannot happen - workers are never parked.
+            throw std::logic_error("engine deadlock: no runnable thread");
+        }
+        steps_++;
+        safeHorizon_ = best->cpu.now();
+        const bool more = best->task->step(best->cpu);
+        if (!more) {
+            if (best->daemon)
+                best->parked = true; // daemons never terminate, re-park
+            else
+                best->done = true;
+        }
+    }
+
+    Time makespan = 0;
+    for (auto &tp : threads_) {
+        if (!tp->daemon && tp->cpu.now() > makespan)
+            makespan = tp->cpu.now();
+    }
+    return makespan;
+}
+
+Time
+Engine::threadClock(int threadId) const
+{
+    return threads_.at(threadId)->cpu.now();
+}
+
+} // namespace dax::sim

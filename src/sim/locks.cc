@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Lock models are header-only; this TU anchors their documentation and
+ * provides formatting helpers for lock statistics.
+ */
+#include "sim/locks.h"
+
+#include <sstream>
+
+namespace dax::sim {
+
+/** Render lock statistics as a one-line human-readable summary. */
+std::string
+formatLockStats(const std::string &name, const LockStats &s)
+{
+    std::ostringstream os;
+    os << name << ": acq=" << s.acquisitions
+       << " wait_us=" << static_cast<double>(s.waitNs) / 1000.0
+       << " held_us=" << static_cast<double>(s.heldNs) / 1000.0;
+    return os.str();
+}
+
+} // namespace dax::sim

@@ -1,0 +1,10 @@
+/**
+ * @file
+ * Resource is header-only; this TU exists to keep one definition of its
+ * documentation anchor and future non-inline helpers.
+ */
+#include "sim/resource.h"
+
+namespace dax::sim {
+// Intentionally empty.
+} // namespace dax::sim

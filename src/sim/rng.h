@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Deterministic random number generation for workloads.
+ *
+ * A small xoshiro256** implementation so that simulation runs are
+ * bit-reproducible across platforms and standard library versions
+ * (std::mt19937 would also be deterministic, but distributions are
+ * not portable across libstdc++ versions).
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dax::sim {
+
+/** xoshiro256** pseudo random generator (deterministic, seedable). */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding, as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound), bound > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free-enough reduction is
+        // sufficient for workload generation.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+/**
+ * Zipfian generator over [0, n) with parameter theta, matching the
+ * YCSB reference implementation (Gray et al. quick approximation).
+ */
+class Zipf
+{
+  public:
+    Zipf(std::uint64_t n, double theta = 0.99)
+        : n_(n), theta_(theta)
+    {
+        zetan_ = zeta(n_);
+        zeta2_ = zeta(2);
+        alpha_ = 1.0 / (1.0 - theta_);
+        eta_ = (1.0 - pow2(2.0 / static_cast<double>(n_)))
+             / (1.0 - zeta2_ / zetan_);
+    }
+
+    std::uint64_t
+    next(Rng &rng) const
+    {
+        const double u = rng.uniform();
+        const double uz = u * zetan_;
+        if (uz < 1.0)
+            return 0;
+        if (uz < 1.0 + pow2(0.5))
+            return 1;
+        const auto v = static_cast<double>(n_)
+                     * pow2(eta_ * u - eta_ + 1.0);
+        auto idx = static_cast<std::uint64_t>(v);
+        return idx >= n_ ? n_ - 1 : idx;
+    }
+
+  private:
+    double
+    zeta(std::uint64_t n) const
+    {
+        double sum = 0.0;
+        // Cap the exact sum; beyond the cap extrapolate with the
+        // integral, keeping construction O(1)-ish for huge n.
+        const std::uint64_t cap = n < 1000000 ? n : 1000000;
+        for (std::uint64_t i = 1; i <= cap; i++)
+            sum += 1.0 / pow(static_cast<double>(i));
+        if (cap < n) {
+            // Extrapolate with the integral of x^-theta from cap to n:
+            // x^(1-theta) / (1-theta).
+            const double a = 1.0 - theta_;
+            sum += (pow(static_cast<double>(n)) * static_cast<double>(n)
+                    - pow(static_cast<double>(cap)) * static_cast<double>(cap))
+                 / a;
+        }
+        return sum;
+    }
+
+    double pow(double x) const { return __builtin_pow(x, -theta_); }
+    double pow2(double x) const { return __builtin_pow(x, alpha_); }
+
+    std::uint64_t n_;
+    double theta_;
+    double zetan_, zeta2_, alpha_, eta_;
+};
+
+} // namespace dax::sim

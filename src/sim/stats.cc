@@ -1,0 +1,27 @@
+/**
+ * @file
+ * StatSet implementation.
+ */
+#include "sim/stats.h"
+
+#include <sstream>
+
+namespace dax::sim {
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[key, value] : other.counters_)
+        counters_[key] += value;
+}
+
+std::string
+StatSet::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[key, value] : counters_)
+        os << key << "=" << value << "\n";
+    return os.str();
+}
+
+} // namespace dax::sim

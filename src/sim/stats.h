@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Lightweight named-counter registry used by subsystems to expose
+ * event counts (faults, shootdowns, journal commits, ...) to tests and
+ * benches without coupling them to each subsystem's internals.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace dax::sim {
+
+class StatSet
+{
+  public:
+    /** Increment counter @p key by @p delta. */
+    void
+    inc(const std::string &key, std::uint64_t delta = 1)
+    {
+        counters_[key] += delta;
+    }
+
+    /** Current value (0 when never incremented). */
+    std::uint64_t
+    get(const std::string &key) const
+    {
+        auto it = counters_.find(key);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Reset all counters. */
+    void clear() { counters_.clear(); }
+
+    /** Accumulate all counters of @p other into this set. */
+    void merge(const StatSet &other);
+
+    /** Render as "key=value" lines sorted by key. */
+    std::string toString() const;
+
+    const std::map<std::string, std::uint64_t> &all() const
+    {
+        return counters_;
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace dax::sim

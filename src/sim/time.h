@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Virtual time for the DaxVM simulation.
+ *
+ * All simulated latencies are expressed in integer nanoseconds of
+ * virtual time. The simulated CPU frequency (paper platform: Cascade
+ * Lake fixed at 2.7 GHz) is used to convert between cycles and
+ * nanoseconds, e.g. for the page-walk-cycle counters of Table II.
+ */
+#pragma once
+
+#include <cstdint>
+
+namespace dax::sim {
+
+/** Virtual time in nanoseconds. */
+using Time = std::uint64_t;
+
+/** Simulated core frequency in GHz (paper: 2.7 GHz, fixed). */
+inline constexpr double kCpuGhz = 2.7;
+
+/** Convert CPU cycles to virtual nanoseconds (rounded). */
+constexpr Time
+cyclesToNs(double cycles)
+{
+    return static_cast<Time>(cycles / kCpuGhz + 0.5);
+}
+
+/** Convert virtual nanoseconds to CPU cycles. */
+constexpr double
+nsToCycles(Time ns)
+{
+    return static_cast<double>(ns) * kCpuGhz;
+}
+
+/** Convenience literals for durations. */
+constexpr Time operator""_ns(unsigned long long v) { return v; }
+constexpr Time operator""_us(unsigned long long v) { return v * 1000; }
+constexpr Time operator""_ms(unsigned long long v) { return v * 1000000; }
+constexpr Time operator""_s(unsigned long long v) { return v * 1000000000; }
+
+} // namespace dax::sim

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Trace implementation.
+ */
+#include "sim/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace dax::sim {
+
+const char *
+traceCatName(TraceCat cat)
+{
+    switch (cat) {
+      case TraceCat::Fault:
+        return "fault";
+      case TraceCat::Mmap:
+        return "mmap";
+      case TraceCat::Shootdown:
+        return "shootdown";
+      case TraceCat::Fs:
+        return "fs";
+      case TraceCat::Daxvm:
+        return "daxvm";
+      case TraceCat::Prezero:
+        return "prezero";
+      case TraceCat::kCount:
+        break;
+    }
+    return "?";
+}
+
+Trace::Trace()
+{
+    if (const char *spec = std::getenv("DAXVM_TRACE"))
+        enableFromSpec(spec);
+}
+
+Trace &
+Trace::get()
+{
+    static Trace instance;
+    return instance;
+}
+
+void
+Trace::enableFromSpec(const std::string &spec)
+{
+    if (spec == "all") {
+        enableAll();
+        return;
+    }
+    std::size_t pos = 0;
+    while (pos < spec.size()) {
+        std::size_t comma = spec.find(',', pos);
+        if (comma == std::string::npos)
+            comma = spec.size();
+        const std::string name = spec.substr(pos, comma - pos);
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(TraceCat::kCount); c++) {
+            if (name == traceCatName(static_cast<TraceCat>(c)))
+                enable(static_cast<TraceCat>(c));
+        }
+        pos = comma + 1;
+    }
+}
+
+void
+Trace::log(TraceCat cat, Time now, const char *fmt, ...)
+{
+    char body[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    va_end(args);
+
+    char line[640];
+    std::snprintf(line, sizeof(line), "[%11.3f us] %s: %s\n",
+                  static_cast<double>(now) / 1e3, traceCatName(cat),
+                  body);
+    if (sink_ != nullptr)
+        std::fputs(line, sink_);
+    else
+        captured_ += line;
+}
+
+} // namespace dax::sim

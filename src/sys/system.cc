@@ -1,0 +1,155 @@
+/**
+ * @file
+ * System assembly.
+ */
+#include "sys/system.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace dax::sys {
+
+System::System(const SystemConfig &config)
+    : config_(config), engine_(config.cores),
+      pmem_(mem::Kind::Pmem, config.pmemBytes + config.pmemTableBytes,
+            config_.cm, config.backing == mem::Backing::None
+                            ? mem::Backing::Sparse
+                            : config.backing),
+      dram_(mem::Kind::Dram, config.dramBytes, config_.cm,
+            mem::Backing::Sparse),
+      dramMeta_(dram_, 0, config.dramBytes),
+      pmemTables_(pmem_, config.pmemBytes, config.pmemTableBytes),
+      hub_(config_.cm, config.cores),
+      fs_(config.personality, pmem_, 0, config.pmemBytes, config_.cm),
+      vfs_(fs_, config_.cm, config.inodeCacheCapacity)
+{
+    for (unsigned c = 0; c < config.cores; c++) {
+        mmus_.push_back(std::make_unique<arch::Mmu>(config_.cm));
+        hub_.registerMmu(static_cast<int>(c), mmus_.back().get());
+    }
+    vmm_ = std::make_unique<vm::VmManager>(config_.cm, hub_, fs_,
+                                           dramMeta_, dram_);
+    if (config.daxvm) {
+        ftm_ = std::make_unique<daxvm::FileTableManager>(
+            fs_, dramMeta_, pmemTables_, config_.cm);
+        dax_ = std::make_unique<daxvm::DaxVm>(*vmm_, *ftm_);
+        if (config.prezero) {
+            prezero_ = std::make_unique<daxvm::PrezeroDaemon>(
+                fs_, config_.cm, config_.cm.prezeroThrottle,
+                config.cores);
+            fs_.allocator().setPrezeroSink(prezero_.get());
+            auto *daemon = prezero_.get();
+            const int tid = engine_.addDaemon(
+                std::make_unique<sim::FnTask>(
+                    [daemon](sim::Cpu &cpu) { return daemon->step(cpu); },
+                    "prezerod"),
+                /*core=*/0);
+            daemon->attachEngine(&engine_, tid);
+        }
+    }
+    latr_ = std::make_unique<latr::Latr>(config_.cm, hub_, config.cores);
+}
+
+System::~System()
+{
+    if (prezero_ != nullptr)
+        fs_.allocator().setPrezeroSink(nullptr);
+}
+
+std::unique_ptr<vm::AddressSpace>
+System::newProcess()
+{
+    return std::make_unique<vm::AddressSpace>(*vmm_);
+}
+
+std::optional<fs::Vfs::OpenResult>
+System::open(sim::Cpu &cpu, const std::string &path)
+{
+    auto res = vfs_.open(cpu, path);
+    if (res && res->cold && ftm_ != nullptr)
+        ftm_->onColdOpen(cpu, res->ino);
+    return res;
+}
+
+std::uint8_t
+System::patternByte(fs::Ino ino, std::uint64_t i)
+{
+    // Cheap deterministic mixing; distinct per file and position.
+    const std::uint64_t x = (ino * 0x9e3779b97f4a7c15ULL) ^ (i * 2654435761ULL);
+    return static_cast<std::uint8_t>(x >> 16);
+}
+
+fs::Ino
+System::makeFile(const std::string &path, std::uint64_t bytes,
+                 std::uint64_t fillBytes)
+{
+    sim::Cpu scratch(nullptr, -1, 0);
+    const fs::Ino ino = fs_.create(scratch, path);
+    if (bytes > 0 && !fs_.fallocateSetup(ino, bytes))
+        throw std::runtime_error("makeFile: out of space: " + path);
+    // Pre-existing files already carry their DaxVM tables (they were
+    // built when the file was written); construct them untimed.
+    if (ftm_ != nullptr && bytes > 0)
+        ftm_->tables(nullptr, ino);
+    if (fillBytes > 0) {
+        fillBytes = std::min(fillBytes, bytes);
+        std::vector<std::uint8_t> buf(
+            std::min<std::uint64_t>(fillBytes, 1 << 20));
+        std::uint64_t off = 0;
+        while (off < fillBytes) {
+            const std::uint64_t chunk =
+                std::min<std::uint64_t>(buf.size(), fillBytes - off);
+            for (std::uint64_t i = 0; i < chunk; i++)
+                buf[i] = patternByte(ino, off + i);
+            // Functional store only (setup, no timing).
+            const fs::Inode &node = fs_.inode(ino);
+            std::uint64_t done = 0;
+            while (done < chunk) {
+                const std::uint64_t fb = (off + done) / fs::kBlockSize;
+                const std::uint64_t in = (off + done) % fs::kBlockSize;
+                const auto run = node.find(fb);
+                const std::uint64_t n = std::min(
+                    chunk - done, run->count * fs::kBlockSize - in);
+                pmem_.store(fs_.blockAddr(run->physBlock) + in,
+                            buf.data() + done, n);
+                done += n;
+            }
+            off += chunk;
+        }
+    }
+    return ino;
+}
+
+fs::AgingReport
+System::age(const fs::AgingConfig &config)
+{
+    // Aging is an offline image-preparation step: freed blocks must
+    // return to the allocator immediately, not queue behind the
+    // (not-yet-running) pre-zero daemon.
+    const bool prezeroWasEnabled =
+        prezero_ != nullptr && prezero_->enabled();
+    if (prezero_ != nullptr)
+        prezero_->setEnabled(false);
+    auto report = fs::ageFileSystem(fs_, config);
+    if (prezero_ != nullptr)
+        prezero_->setEnabled(prezeroWasEnabled);
+    return report;
+}
+
+void
+System::remount()
+{
+    vfs_.dropCaches();
+}
+
+sim::Time
+System::quiesceTime() const
+{
+    sim::Time t = pmem_.readChannel().busyUntil();
+    t = std::max(t, pmem_.writeChannel().busyUntil());
+    t = std::max(t, dram_.readChannel().busyUntil());
+    t = std::max(t, dram_.writeChannel().busyUntil());
+    return t;
+}
+
+} // namespace dax::sys

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * System: assembles devices, MMUs, file system, VM layer, DaxVM and
+ * baselines into one simulated machine. This is the top of the public
+ * API: examples, tests and benches construct a System, create
+ * processes and drive workloads on the engine.
+ */
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/shootdown.h"
+#include "arch/tlb.h"
+#include "daxvm/api.h"
+#include "daxvm/file_table.h"
+#include "daxvm/prezero.h"
+#include "fs/aging.h"
+#include "fs/file_system.h"
+#include "fs/vfs.h"
+#include "latr/latr.h"
+#include "mem/device.h"
+#include "mem/frame_alloc.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "vm/address_space.h"
+#include "vm/manager.h"
+
+namespace dax::sys {
+
+struct SystemConfig
+{
+    /** Simulated cores (paper socket: 16). */
+    unsigned cores = 16;
+    /** PMem data region (file system) size. */
+    std::uint64_t pmemBytes = 4ULL << 30;
+    /** PMem region reserved for persistent DaxVM file tables. */
+    std::uint64_t pmemTableBytes = 256ULL << 20;
+    /** DRAM metadata region (process page tables, volatile tables). */
+    std::uint64_t dramBytes = 2ULL << 30;
+    mem::Backing backing = mem::Backing::Sparse;
+    fs::Personality personality = fs::Personality::Ext4Dax;
+    /** Instantiate the DaxVM subsystem (file tables, daxvm_mmap). */
+    bool daxvm = true;
+    /** Divert frees to the asynchronous pre-zero daemon. */
+    bool prezero = true;
+    /** VFS inode cache capacity (0 = unlimited). */
+    std::size_t inodeCacheCapacity = 1 << 16;
+    sim::CostModel cm;
+};
+
+class System
+{
+  public:
+    explicit System(const SystemConfig &config);
+    ~System();
+
+    System(const System &) = delete;
+    System &operator=(const System &) = delete;
+
+    // Subsystem access ---------------------------------------------------
+    sim::Engine &engine() { return engine_; }
+    mem::Device &pmem() { return pmem_; }
+    mem::Device &dram() { return dram_; }
+    fs::FileSystem &fs() { return fs_; }
+    fs::Vfs &vfs() { return vfs_; }
+    vm::VmManager &vmm() { return *vmm_; }
+    arch::ShootdownHub &hub() { return hub_; }
+    daxvm::DaxVm *dax() { return dax_.get(); }
+    daxvm::FileTableManager *fileTables() { return ftm_.get(); }
+    daxvm::PrezeroDaemon *prezeroDaemon() { return prezero_.get(); }
+    latr::Latr &latr() { return *latr_; }
+    const SystemConfig &config() const { return config_; }
+    const sim::CostModel &cm() const { return config_.cm; }
+
+    // Lifecycle -----------------------------------------------------------
+
+    /** Create a new simulated process (address space). */
+    std::unique_ptr<vm::AddressSpace> newProcess();
+
+    /**
+     * Open via the VFS; with DaxVM enabled a cold open also rebuilds
+     * volatile file tables (charged).
+     */
+    std::optional<fs::Vfs::OpenResult> open(sim::Cpu &cpu,
+                                            const std::string &path);
+
+    /**
+     * Setup helper: create a file of @p bytes without timing; the
+     * first @p fillBytes bytes get a deterministic pattern for
+     * integrity checks.
+     */
+    fs::Ino makeFile(const std::string &path, std::uint64_t bytes,
+                     std::uint64_t fillBytes = 0);
+
+    /** Age the file-system image (Geriatrix-style). */
+    fs::AgingReport age(const fs::AgingConfig &config);
+
+    /**
+     * Simulate a reboot/remount: drops the inode cache (volatile file
+     * tables die; persistent ones survive in PMem).
+     */
+    void remount();
+
+    /** Deterministic fill pattern byte for position @p i of @p ino. */
+    static std::uint8_t patternByte(fs::Ino ino, std::uint64_t i);
+
+    /**
+     * Virtual time after which all device channels are idle. When a
+     * System is reused for sequential measurement phases, start new
+     * threads (or scratch Cpus) here so they do not queue behind the
+     * previous phase's transfers.
+     */
+    sim::Time quiesceTime() const;
+
+  private:
+    SystemConfig config_;
+    sim::Engine engine_;
+    mem::Device pmem_;
+    mem::Device dram_;
+    mem::FrameAllocator dramMeta_;
+    mem::FrameAllocator pmemTables_;
+    std::vector<std::unique_ptr<arch::Mmu>> mmus_;
+    arch::ShootdownHub hub_;
+    fs::FileSystem fs_;
+    fs::Vfs vfs_;
+    std::unique_ptr<vm::VmManager> vmm_;
+    std::unique_ptr<daxvm::FileTableManager> ftm_;
+    std::unique_ptr<daxvm::DaxVm> dax_;
+    std::unique_ptr<daxvm::PrezeroDaemon> prezero_;
+    std::unique_ptr<latr::Latr> latr_;
+};
+
+} // namespace dax::sys

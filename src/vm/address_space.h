@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Per-process virtual address space: the simulated mm_struct.
+ *
+ * Owns the VMA tree (protected by the mmap semaphore, as in Linux),
+ * the process page table, and - when DaxVM is used - the ephemeral
+ * heap region whose VMAs live outside the main tree under their own
+ * spinlock (paper Section IV-B).
+ *
+ * The POSIX paths (mmap/munmap/mprotect/msync, demand faults with
+ * software dirty tracking, MAP_POPULATE, TLB flush batching with the
+ * 33-page threshold) model Linux 5.1 behaviour; DaxVM paths are built
+ * on the exposed internals by src/daxvm.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "arch/page_table.h"
+#include "arch/perf.h"
+#include "arch/shootdown.h"
+#include "mem/device.h"
+#include "sim/locks.h"
+#include "vm/manager.h"
+#include "vm/vma.h"
+
+namespace dax::vm {
+
+class AddressSpace
+{
+  public:
+    explicit AddressSpace(VmManager &vmm);
+    ~AddressSpace();
+
+    AddressSpace(const AddressSpace &) = delete;
+    AddressSpace &operator=(const AddressSpace &) = delete;
+
+    // ------------------------------------------------------------------
+    // POSIX mapping API (Linux default DAX-mmap behaviour)
+    // ------------------------------------------------------------------
+
+    /**
+     * Map @p len bytes of @p ino at file offset @p off.
+     * @return the mapped virtual address, or 0 on failure.
+     */
+    std::uint64_t mmap(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
+                       std::uint64_t len, bool write, unsigned flags);
+
+    /** Unmap [va, va+len); splits partially covered VMAs. */
+    bool munmap(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len);
+
+    /** Change protection of [va, va+len); splits VMAs as needed. */
+    bool mprotect(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
+                  bool write);
+
+    /** Sync the file range backing [va, va+len). */
+    bool msync(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len);
+
+    /**
+     * fork(): duplicate this address space into a child process.
+     * Shared file mappings are copied entry by entry (Linux copies
+     * page tables under the parent's mmap_sem); DaxVM mappings are
+     * re-attached - O(1) per granule through the shared file tables,
+     * which is why fork is cheap for DAX with DaxVM. Ephemeral
+     * mappings are transient by contract and are not inherited.
+     */
+    std::unique_ptr<AddressSpace> fork(sim::Cpu &cpu);
+
+    /**
+     * Resize (possibly moving) the mapping starting at @p oldVa.
+     * DaxVM mappings allow resizing only of the entire mapping;
+     * ephemeral mappings reject mremap (paper Section IV-F).
+     * @return the (possibly new) address, or 0 on failure.
+     */
+    std::uint64_t mremap(sim::Cpu &cpu, std::uint64_t oldVa,
+                         std::uint64_t oldLen, std::uint64_t newLen);
+
+    // ------------------------------------------------------------------
+    // Memory access through the MMU (timed + functional)
+    // ------------------------------------------------------------------
+
+    /**
+     * Load @p len bytes at @p va (optionally copied into @p dst).
+     * @param kernelCopy the access is a kernel copy through the user
+     *        mapping (e.g. write(socket, mapped, len)): no AVX-512.
+     */
+    void memRead(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
+                 mem::Pattern pattern, void *dst = nullptr,
+                 bool kernelCopy = false);
+
+    /** Store @p len bytes at @p va. */
+    void memWrite(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
+                  mem::Pattern pattern,
+                  mem::WriteMode mode = mem::WriteMode::NtStore,
+                  const void *src = nullptr);
+
+    // ------------------------------------------------------------------
+    // Fault handling (used internally and by tests)
+    // ------------------------------------------------------------------
+
+    /**
+     * Page/permission fault on @p va.
+     * @return true when resolved (access should retry).
+     */
+    bool handleFault(sim::Cpu &cpu, std::uint64_t va, bool write);
+
+    /**
+     * Populate translations for [vma.start+off, +len) without a trap
+     * per page (MAP_POPULATE / DaxVM-independent helper). Caller holds
+     * the mmap semaphore as reader.
+     */
+    void populateRange(sim::Cpu &cpu, Vma &vma, std::uint64_t off,
+                       std::uint64_t len, bool forWrite);
+
+    // ------------------------------------------------------------------
+    // Internals exposed to the DaxVM module
+    // ------------------------------------------------------------------
+
+    /** Ephemeral heap region state (paper Fig. 3). */
+    struct EphemeralRegion
+    {
+        std::uint64_t base = 0;
+        std::uint64_t size = 0;
+        std::uint64_t bump = 0;       ///< next free offset
+        std::uint64_t liveVmas = 0;   ///< mappings in the region
+        sim::Mutex lock{"ephemeral"};
+        std::map<std::uint64_t, Vma> vmas;
+    };
+
+    /** Reserve (or grow) the ephemeral heap; returns the region. */
+    EphemeralRegion &ephemeralRegion();
+
+    /** Bump-allocate virtual addresses (no locking, no charging). */
+    std::uint64_t allocVaBump(std::uint64_t len, std::uint64_t align);
+
+    /** Insert a VMA into the main tree (caller holds write lock). */
+    Vma &insertVma(const Vma &vma);
+
+    /** Find the VMA containing @p va (ephemeral region checked too). */
+    Vma *findVma(std::uint64_t va);
+
+    /** Erase a tree VMA by start (caller holds write lock). */
+    bool eraseVma(std::uint64_t start);
+
+    /**
+     * Clear all present translations in [start, end) of @p vma,
+     * collecting up to threshold+1 page addresses for the TLB flush
+     * decision. @return number of pages zapped (@p pages truncated).
+     */
+    std::uint64_t zapRange(sim::Cpu &cpu, Vma &vma, std::uint64_t start,
+                           std::uint64_t end,
+                           std::vector<std::uint64_t> &pages);
+
+    /** Record that @p core touched this address space (mm_cpumask). */
+    void noteCore(int core) { cpuMask_ |= arch::coreBit(core); }
+
+    arch::CoreMask cpuMask() const { return cpuMask_; }
+    arch::Asid asid() const { return asid_; }
+    arch::PageTable &pageTable() { return pt_; }
+    sim::RwSemaphore &mmapSem() { return mmapSem_; }
+    VmManager &vmm() { return vmm_; }
+    arch::MmuPerf &perf() { return perf_; }
+    const std::map<std::uint64_t, Vma> &vmas() const { return vmas_; }
+
+    /** Execution-time accumulator for the MMU-overhead monitor. */
+    void chargeExec(sim::Time ns) { execNs_ += ns; }
+    sim::Time execNs() const { return execNs_; }
+
+  private:
+    friend class Access;
+
+    /** Resolve + install the translation for one fault. */
+    bool installTranslation(sim::Cpu &cpu, Vma &vma, std::uint64_t va,
+                            bool forWrite, bool trapped);
+
+    /** Make an installed page writable (dirty tracking + MAP_SYNC). */
+    void makeWritable(sim::Cpu &cpu, Vma &vma, std::uint64_t va,
+                      unsigned pageShift);
+
+    VmManager &vmm_;
+    arch::Asid asid_;
+    arch::PageTable pt_;
+    sim::RwSemaphore mmapSem_;
+    std::map<std::uint64_t, Vma> vmas_; ///< keyed by start
+    EphemeralRegion ephemeral_;
+    std::uint64_t vaBump_;
+    arch::CoreMask cpuMask_ = 0;
+    arch::MmuPerf perf_;
+    sim::Time execNs_ = 0;
+};
+
+} // namespace dax::vm

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * VmManager: reverse mappings, kernel dirty tracking, sync, and
+ * storage-reclamation safety hooks.
+ */
+#include "vm/manager.h"
+
+#include <algorithm>
+
+#include "arch/pte.h"
+#include "vm/address_space.h"
+
+namespace dax::vm {
+
+const std::vector<VmManager::MappingRef> VmManager::kNoMappings;
+const DirtySet VmManager::kNoDirty;
+
+VmManager::VmManager(const sim::CostModel &cm, arch::ShootdownHub &hub,
+                     fs::FileSystem &fs, mem::FrameAllocator &dramMeta,
+                     mem::Device &dram)
+    : cm_(cm), hub_(hub), fs_(fs), dramMeta_(dramMeta), dram_(dram)
+{
+    fs_.addHooks(this);
+}
+
+VmManager::~VmManager()
+{
+    fs_.removeHooks(this);
+}
+
+void
+dirtySetInsert(DirtySet &set, std::uint64_t start, std::uint64_t count)
+{
+    if (count == 0)
+        return;
+    std::uint64_t end = start + count;
+
+    // Merge with any overlapping/adjacent predecessor.
+    auto it = set.upper_bound(start);
+    if (it != set.begin()) {
+        auto prev = std::prev(it);
+        if (prev->first + prev->second >= start) {
+            start = prev->first;
+            end = std::max(end, prev->first + prev->second);
+            it = set.erase(prev);
+        }
+    }
+    // Swallow successors.
+    while (it != set.end() && it->first <= end) {
+        end = std::max(end, it->first + it->second);
+        it = set.erase(it);
+    }
+    set.emplace(start, end - start);
+}
+
+void
+VmManager::registerMapping(fs::Ino ino, AddressSpace *as,
+                           std::uint64_t vmaStart)
+{
+    inodeVm(ino).mappings.push_back({as, vmaStart});
+}
+
+void
+VmManager::unregisterMapping(fs::Ino ino, AddressSpace *as,
+                             std::uint64_t vmaStart)
+{
+    auto it = inodeVm_.find(ino);
+    if (it == inodeVm_.end())
+        return;
+    auto &mappings = it->second.mappings;
+    mappings.erase(
+        std::remove_if(mappings.begin(), mappings.end(),
+                       [&](const MappingRef &r) {
+                           return r.as == as && r.vmaStart == vmaStart;
+                       }),
+        mappings.end());
+}
+
+const std::vector<VmManager::MappingRef> &
+VmManager::mappingsOf(fs::Ino ino) const
+{
+    auto it = inodeVm_.find(ino);
+    return it == inodeVm_.end() ? kNoMappings : it->second.mappings;
+}
+
+void
+VmManager::markDirty(sim::Cpu &cpu, fs::Ino ino, std::uint64_t startPage,
+                     std::uint64_t count)
+{
+    cpu.advance(cm_.dirtyTag);
+    dirtySetInsert(inodeVm(ino).dirty, startPage, count);
+    stats_.inc("vm.dirty_tags");
+}
+
+const DirtySet &
+VmManager::dirtyOf(fs::Ino ino) const
+{
+    auto it = inodeVm_.find(ino);
+    return it == inodeVm_.end() ? kNoDirty : it->second.dirty;
+}
+
+std::uint64_t
+VmManager::dirtyPages(fs::Ino ino) const
+{
+    std::uint64_t total = 0;
+    for (const auto &[start, count] : dirtyOf(ino)) {
+        (void)start;
+        total += count;
+    }
+    return total;
+}
+
+void
+VmManager::syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
+                    std::uint64_t len)
+{
+    fs::Inode &node = fs_.inode(ino);
+    auto &iv = inodeVm(ino);
+
+    // POSIX/DaxVM coexistence (paper Section IV-D): when a nosync
+    // DaxVM mapping of the same file exists, its writes are invisible
+    // to dirty tracking, so the POSIX syncer must flush the whole file.
+    bool flushWhole = false;
+    for (const auto &ref : iv.mappings) {
+        if (Vma *vma = ref.as->findVma(ref.vmaStart)) {
+            if (vma->daxvm && (vma->flags & kMapNoMsync) != 0)
+                flushWhole = true;
+        }
+    }
+
+    std::uint64_t firstPage = off / fs::kBlockSize;
+    std::uint64_t endPage =
+        (off + len + fs::kBlockSize - 1) / fs::kBlockSize;
+    if (flushWhole) {
+        firstPage = 0;
+        endPage = node.sizeBlocks();
+        // Flush the entire file's cache lines, not just tagged pages.
+        for (const auto &[fb, extent] : node.extents) {
+            (void)fb;
+            fs_.device().write(cpu, fs_.blockAddr(extent.block),
+                               extent.bytes(), mem::WriteMode::CachedFlush,
+                               mem::Pattern::Seq);
+        }
+        stats_.inc("vm.sync_whole_file");
+    }
+
+    // Flush dirty intervals in range and collect pages to re-protect.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> flushed;
+    for (auto it = iv.dirty.begin(); it != iv.dirty.end();) {
+        const std::uint64_t start = it->first;
+        const std::uint64_t count = it->second;
+        if (start >= endPage || start + count <= firstPage) {
+            ++it;
+            continue;
+        }
+        const std::uint64_t s = std::max(start, firstPage);
+        const std::uint64_t e = std::min(start + count, endPage);
+        if (!flushWhole) {
+            // clwb each dirty page's lines, walking file extents.
+            std::uint64_t page = s;
+            while (page < e) {
+                const auto run = node.find(page);
+                if (!run)
+                    break;
+                const std::uint64_t pages =
+                    std::min(e - page, run->count);
+                fs_.device().write(cpu,
+                                   fs_.blockAddr(run->physBlock),
+                                   pages * fs::kBlockSize,
+                                   mem::WriteMode::CachedFlush,
+                                   mem::Pattern::Seq);
+                page += pages;
+            }
+        }
+        flushed.emplace_back(s, e - s);
+        // Trim the interval out of the dirty set.
+        it = iv.dirty.erase(it);
+        if (start < s)
+            iv.dirty.emplace(start, s - start);
+        if (start + count > e)
+            iv.dirty.emplace(e, start + count - e);
+        stats_.inc("vm.sync_flushed_pages", e - s);
+    }
+
+    // Write-protect flushed pages in every mapping process to restart
+    // dirty tracking, with shootdowns (paper Section III-A4).
+    for (const auto &ref : iv.mappings) {
+        AddressSpace *as = ref.as;
+        Vma *vma = as->findVma(ref.vmaStart);
+        if (vma == nullptr)
+            continue;
+        if (vma->daxvm) {
+            if ((vma->flags & kMapNoMsync) != 0)
+                continue; // untracked by design
+            // DaxVM re-protects at the attachment level (2 MB or
+            // coarser), never inside the shared file tables.
+            const std::uint64_t span =
+                arch::levelSpan(vma->attachLevel);
+            std::vector<std::uint64_t> bases;
+            for (const auto &[s, cnt] : flushed) {
+                const std::uint64_t loByte = s * fs::kBlockSize;
+                const std::uint64_t hiByte = (s + cnt) * fs::kBlockSize;
+                for (std::uint64_t va = vma->start; va < vma->end;
+                     va += span) {
+                    const std::uint64_t fo = vma->fileOffsetOf(va);
+                    if (fo + span <= loByte || fo >= hiByte)
+                        continue;
+                    if (as->pageTable().setAttachmentWritable(
+                            va, vma->attachLevel, false)
+                        || as->pageTable().setFlags(va, vma->attachLevel,
+                                                    0,
+                                                    arch::pte::kWrite)) {
+                        cpu.advance(cm_.wrProtect);
+                        bases.push_back(va);
+                    }
+                }
+            }
+            if (!bases.empty()) {
+                hub_.shootdownFull(cpu, as->cpuMask(), as->asid());
+            }
+            continue;
+        }
+        std::vector<std::uint64_t> protPages;
+        for (const auto &[s, cnt] : flushed) {
+            std::uint64_t p = s;
+            while (p < s + cnt) {
+                const std::uint64_t fileByte = p * fs::kBlockSize;
+                if (fileByte < vma->fileOff
+                    || fileByte >= vma->fileOff + vma->length()) {
+                    p++;
+                    continue;
+                }
+                const std::uint64_t va =
+                    vma->start + (fileByte - vma->fileOff);
+                const arch::WalkResult walk =
+                    as->pageTable().lookup(va);
+                if (!walk.present) {
+                    p++;
+                    continue;
+                }
+                // Re-protect at the granularity the page is mapped
+                // with (one PMD write for a 2 MB page).
+                const std::uint64_t span = 1ULL << walk.pageShift;
+                const std::uint64_t base = va / span * span;
+                const int level = walk.pageShift == 21
+                                      ? arch::kPmdLevel
+                                  : walk.pageShift == 30
+                                      ? arch::kPudLevel
+                                      : arch::kPteLevel;
+                if (as->pageTable().setFlags(base, level, 0,
+                                             arch::pte::kWrite)) {
+                    cpu.advance(cm_.wrProtect);
+                    protPages.push_back(base);
+                }
+                const std::uint64_t nextByte =
+                    vma->fileOffsetOf(base) + span;
+                p = (nextByte + fs::kBlockSize - 1) / fs::kBlockSize;
+            }
+        }
+        if (!protPages.empty()) {
+            hub_.shootdownPages(cpu, as->cpuMask(), as->asid(),
+                                protPages);
+        }
+    }
+
+    fs_.journal().commit(cpu, ino);
+    stats_.inc("vm.syncs");
+}
+
+void
+VmManager::onBlocksAllocated(sim::Cpu &cpu, fs::Inode &inode,
+                             std::uint64_t fileBlock,
+                             const fs::Extent &extent)
+{
+    (void)cpu;
+    (void)inode;
+    (void)fileBlock;
+    (void)extent;
+}
+
+void
+VmManager::onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
+                           std::uint64_t fileBlock,
+                           const fs::Extent &extent)
+{
+    // Synchronously unmap reclaimed pages from every POSIX mapping
+    // (DaxVM detachment is handled by the DaxVM hook).
+    auto it = inodeVm_.find(inode.ino);
+    if (it == inodeVm_.end())
+        return;
+    const std::uint64_t byteStart = fileBlock * fs::kBlockSize;
+    const std::uint64_t byteEnd = byteStart + extent.bytes();
+    for (const auto &ref : it->second.mappings) {
+        AddressSpace *as = ref.as;
+        Vma *vma = as->findVma(ref.vmaStart);
+        if (vma == nullptr || vma->daxvm)
+            continue;
+        const std::uint64_t vmaFileEnd = vma->fileOff + vma->length();
+        if (byteEnd <= vma->fileOff || byteStart >= vmaFileEnd)
+            continue;
+        const std::uint64_t s =
+            vma->start + (std::max(byteStart, vma->fileOff)
+                          - vma->fileOff);
+        const std::uint64_t e =
+            vma->start + (std::min(byteEnd, vmaFileEnd) - vma->fileOff);
+        std::vector<std::uint64_t> pages;
+        const std::uint64_t zapped = as->zapRange(cpu, *vma, s, e, pages);
+        if (zapped > 0)
+            hub_.shootdownPages(cpu, as->cpuMask(), as->asid(), pages);
+        stats_.inc("vm.truncate_zaps", zapped);
+    }
+}
+
+void
+VmManager::onInodeEvict(fs::Inode &inode)
+{
+    (void)inode;
+}
+
+} // namespace dax::vm

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * User-side file IO helpers.
+ */
+#include "vm/file_io.h"
+
+namespace dax::vm {
+
+void
+processCached(sim::Cpu &cpu, const sim::CostModel &cm, std::uint64_t bytes)
+{
+    cpu.advance(sim::CostModel::xfer(bytes, cm.dramReadBwCore));
+}
+
+void
+chargeCompute(sim::Cpu &cpu, double nsPerByte, std::uint64_t bytes)
+{
+    cpu.advance(static_cast<sim::Time>(
+        nsPerByte * static_cast<double>(bytes) + 0.5));
+}
+
+std::uint64_t
+readAndProcess(sim::Cpu &cpu, fs::FileSystem &fs, const sim::CostModel &cm,
+               fs::Ino ino, std::uint64_t off, std::uint64_t len, void *buf)
+{
+    const std::uint64_t got = fs.read(cpu, ino, off, buf, len);
+    processCached(cpu, cm, got);
+    return got;
+}
+
+} // namespace dax::vm

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * User-side helpers around system-call file access.
+ *
+ * Captures the micro-architectural asymmetry of paper Section III-C:
+ * after read(), file bytes are cache/DRAM-resident so user processing
+ * is fast; with mapped access the user code pays PMem latency itself
+ * (charged by AddressSpace::memRead). Kernel copies were already
+ * penalized by CostModel::kernelCopyFactor inside FileSystem.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "fs/file_system.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+
+namespace dax::vm {
+
+/**
+ * Charge the cost of user code scanning @p bytes that live in a
+ * cache-warm DRAM buffer (post-read processing).
+ */
+void processCached(sim::Cpu &cpu, const sim::CostModel &cm,
+                   std::uint64_t bytes);
+
+/**
+ * Charge pure compute of user code over @p bytes (applies equally to
+ * mapped and buffered access), at @p nsPerByte.
+ */
+void chargeCompute(sim::Cpu &cpu, double nsPerByte, std::uint64_t bytes);
+
+/**
+ * read() + process: the classic "read file into private buffer and
+ * consume it" sequence. @return bytes read.
+ */
+std::uint64_t readAndProcess(sim::Cpu &cpu, fs::FileSystem &fs,
+                             const sim::CostModel &cm, fs::Ino ino,
+                             std::uint64_t off, std::uint64_t len,
+                             void *buf = nullptr);
+
+} // namespace dax::vm

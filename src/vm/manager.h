@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Kernel-wide virtual memory state shared by all address spaces:
+ *
+ *  - the per-inode reverse-mapping registry (Linux address_space
+ *    ->i_mmap): which (AddressSpace, VMA) pairs map each file;
+ *  - the per-inode dirty-page interval tree used by kernel-space
+ *    dirty tracking (the page-cache tags of paper Section III-A4);
+ *  - the FsHooks implementation that zaps mappings synchronously when
+ *    the file system reclaims blocks (truncate/unlink safety).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/shootdown.h"
+#include "fs/file_system.h"
+#include "mem/frame_alloc.h"
+#include "sim/cost_model.h"
+#include "sim/stats.h"
+
+namespace dax::vm {
+
+class AddressSpace;
+
+/** Dirty intervals in units of 4 KB file pages: startPage -> count. */
+using DirtySet = std::map<std::uint64_t, std::uint64_t>;
+
+class VmManager : public fs::FsHooks
+{
+  public:
+    VmManager(const sim::CostModel &cm, arch::ShootdownHub &hub,
+              fs::FileSystem &fs, mem::FrameAllocator &dramMeta,
+              mem::Device &dram);
+    ~VmManager() override;
+
+    // ------------------------------------------------------------------
+    // Reverse mapping (i_mmap)
+    // ------------------------------------------------------------------
+    void registerMapping(fs::Ino ino, AddressSpace *as,
+                         std::uint64_t vmaStart);
+    void unregisterMapping(fs::Ino ino, AddressSpace *as,
+                           std::uint64_t vmaStart);
+
+    struct MappingRef
+    {
+        AddressSpace *as;
+        std::uint64_t vmaStart;
+    };
+
+    const std::vector<MappingRef> &mappingsOf(fs::Ino ino) const;
+
+    // ------------------------------------------------------------------
+    // Kernel dirty tracking
+    // ------------------------------------------------------------------
+
+    /** Tag [startPage, startPage+count) of @p ino dirty (radix tag). */
+    void markDirty(sim::Cpu &cpu, fs::Ino ino, std::uint64_t startPage,
+                   std::uint64_t count);
+
+    /** Dirty intervals of a file (empty set when clean). */
+    const DirtySet &dirtyOf(fs::Ino ino) const;
+
+    /** Total dirty 4 KB pages of @p ino. */
+    std::uint64_t dirtyPages(fs::Ino ino) const;
+
+    /**
+     * Kernel sync of @p ino's mapped dirty data in [off, off+len):
+     * flush CPU cache lines for dirty intervals, write-protect the
+     * pages again in every mapping process (with shootdowns), clear
+     * the tags, and commit metadata.
+     */
+    void syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
+                  std::uint64_t len);
+
+    // ------------------------------------------------------------------
+    // FsHooks: storage reclamation safety
+    // ------------------------------------------------------------------
+    void onBlocksAllocated(sim::Cpu &cpu, fs::Inode &inode,
+                           std::uint64_t fileBlock,
+                           const fs::Extent &extent) override;
+    void onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
+                         std::uint64_t fileBlock,
+                         const fs::Extent &extent) override;
+    void onInodeEvict(fs::Inode &inode) override;
+
+    // Plumbing -----------------------------------------------------------
+    const sim::CostModel &cm() const { return cm_; }
+    arch::ShootdownHub &hub() { return hub_; }
+    fs::FileSystem &fs() { return fs_; }
+    mem::FrameAllocator &dramMeta() { return dramMeta_; }
+    mem::Device &dram() { return dram_; }
+    sim::StatSet &stats() { return stats_; }
+
+    /** Next ASID for a new address space. */
+    arch::Asid nextAsid() { return nextAsid_++; }
+
+    /** Global huge-page policy (Fig. 6 turns huge pages off). */
+    bool hugePagesEnabled() const { return hugePages_; }
+    void setHugePagesEnabled(bool enabled) { hugePages_ = enabled; }
+
+  private:
+    struct InodeVm
+    {
+        std::vector<MappingRef> mappings;
+        DirtySet dirty;
+    };
+
+    InodeVm &inodeVm(fs::Ino ino) { return inodeVm_[ino]; }
+
+    const sim::CostModel &cm_;
+    arch::ShootdownHub &hub_;
+    fs::FileSystem &fs_;
+    mem::FrameAllocator &dramMeta_;
+    mem::Device &dram_;
+    std::map<fs::Ino, InodeVm> inodeVm_;
+    arch::Asid nextAsid_ = 1;
+    bool hugePages_ = true;
+    sim::StatSet stats_;
+
+    static const std::vector<MappingRef> kNoMappings;
+    static const DirtySet kNoDirty;
+};
+
+/** Insert [start, start+count) into a dirty interval set, merging. */
+void dirtySetInsert(DirtySet &set, std::uint64_t start,
+                    std::uint64_t count);
+
+} // namespace dax::vm

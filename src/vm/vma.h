@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Virtual memory area (VMA) types and mapping flags.
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "fs/inode.h"
+
+namespace dax::vm {
+
+/** mmap flags (POSIX subset + the three DaxVM flags of Section IV-F). */
+enum MapFlag : unsigned
+{
+    /** Pre-fault all pages at mmap time (MAP_POPULATE). */
+    kMapPopulate = 1u << 0,
+    /** Synchronous DAX semantics (MAP_SYNC): metadata must be durable
+     *  before a page is writably mapped. */
+    kMapSync = 1u << 1,
+    /** DaxVM: short-lived mapping, no memory-op support needed. */
+    kMapEphemeral = 1u << 2,
+    /** DaxVM: munmap may be deferred and batched. */
+    kMapUnmapAsync = 1u << 3,
+    /** DaxVM: drop all kernel dirty tracking; msync becomes a no-op. */
+    kMapNoMsync = 1u << 4,
+};
+
+struct Vma
+{
+    std::uint64_t start = 0;  ///< inclusive
+    std::uint64_t end = 0;    ///< exclusive
+    fs::Ino ino = 0;
+    std::uint64_t fileOff = 0;  ///< file offset backing 'start'
+    bool writable = false;
+    unsigned flags = 0;
+    /** Created through daxvm_mmap (file-table attachments back it). */
+    bool daxvm = false;
+    /** Lives in the ephemeral heap (not in the main VMA tree). */
+    bool ephemeral = false;
+    /** Deferred unmap: unmapped by the user, TLB flush pending. */
+    bool zombie = false;
+    /** DaxVM attachment level (kPmdLevel/kPudLevel), -1 for POSIX. */
+    int attachLevel = -1;
+    /**
+     * DaxVM: 4 KB pages actually backing requested file content (the
+     * attachment spans are rounded up; TLB-coherence bookkeeping works
+     * on the pages that can be cached, not the silent padding).
+     */
+    std::uint64_t usedPages = 0;
+    /** Opaque DaxVM per-mapping state (daxvm::MappingState). */
+    void *daxPriv = nullptr;
+
+    std::uint64_t length() const { return end - start; }
+
+    bool
+    contains(std::uint64_t va) const
+    {
+        return va >= start && va < end;
+    }
+
+    /** File offset backing virtual address @p va. */
+    std::uint64_t
+    fileOffsetOf(std::uint64_t va) const
+    {
+        return fileOff + (va - start);
+    }
+};
+
+} // namespace dax::vm

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * ApacheWorker implementation.
+ */
+#include "workloads/apache.h"
+
+namespace dax::wl {
+
+void
+ApacheWorker::serveOne(sim::Cpu &cpu)
+{
+    const sim::CostModel &cm = system_.cm();
+    const fs::Ino ino =
+        config_.pages[rng_.below(config_.pages.size())];
+    const std::uint64_t size = config_.pageBytes;
+
+    // Request parsing / response generation compute.
+    cpu.advance(cm.httpRequestOverhead);
+
+    // Apache opens the page per request; the inode cache keeps this a
+    // warm open in steady state.
+    const fs::Inode &node = system_.fs().inode(ino);
+    sim::Cpu &c = cpu;
+    c.advance(cm.openBase);
+    (void)node;
+
+    if (config_.access.interface == Interface::Read) {
+        // Copy 1: PMem -> private buffer (kernel read path).
+        system_.fs().read(cpu, ino, 0, nullptr, size);
+        // Copy 2: buffer (cache-hot) -> socket buffers.
+        cpu.advance(cm.socketSyscall);
+        system_.dram().writeKernel(cpu, 0, size, mem::WriteMode::Cached,
+                                   mem::Pattern::Seq);
+    } else {
+        const std::uint64_t va = mapFile(cpu, system_, as_, ino, 0,
+                                         size, false, config_.access);
+        if (va == 0)
+            throw std::runtime_error("apache: map failed");
+        // Single copy: PMem mapping -> socket buffers, performed by
+        // the kernel through the user mapping (write(2)).
+        cpu.advance(cm.socketSyscall);
+        as_.memRead(cpu, va, size, mem::Pattern::Seq, nullptr,
+                    /*kernelCopy=*/true);
+        unmapFile(cpu, system_, as_, va, size, config_.access);
+    }
+    cpu.advance(cm.closeBase);
+}
+
+bool
+ApacheWorker::step(sim::Cpu &cpu)
+{
+    quantumStart(cpu, system_, config_.access);
+    for (std::uint64_t i = 0; i < config_.requestsPerQuantum
+                              && requestsDone_ < config_.requests;
+         i++) {
+        serveOne(cpu);
+        requestsDone_++;
+    }
+    return requestsDone_ < config_.requests;
+}
+
+std::vector<fs::Ino>
+makeWebPages(sys::System &system, const std::string &prefix,
+             std::uint64_t count, std::uint64_t bytes)
+{
+    std::vector<fs::Ino> pages;
+    pages.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        pages.push_back(
+            system.makeFile(prefix + std::to_string(i), bytes));
+    }
+    return pages;
+}
+
+} // namespace dax::wl

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Apache mpm_event worker model (paper Figures 8a/8b): each worker
+ * thread serves HTTP requests for static pages stored on PMem - it
+ * opens the page, transfers its content to the socket either through
+ * a private buffer (read) or straight from the mapping (zero-copy),
+ * and closes it. mmap-based serving stresses the virtual memory layer
+ * with frequent m(un)map requests.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.h"
+#include "workloads/common.h"
+
+namespace dax::wl {
+
+class ApacheWorker : public sim::Task
+{
+  public:
+    struct Config
+    {
+        /** Inodes of the hosted pages (pre-created, pre-warmed). */
+        std::vector<fs::Ino> pages;
+        std::uint64_t pageBytes = 32 * 1024;
+        std::uint64_t requests = 10000;
+        std::uint64_t requestsPerQuantum = 1;
+        AccessOptions access;
+        std::uint64_t seed = 1;
+    };
+
+    ApacheWorker(sys::System &system, vm::AddressSpace &as,
+                 Config config)
+        : system_(system), as_(as), config_(std::move(config)),
+          rng_(config_.seed)
+    {}
+
+    bool step(sim::Cpu &cpu) override;
+    std::string name() const override { return "apache"; }
+
+    std::uint64_t requestsDone() const { return requestsDone_; }
+
+  private:
+    void serveOne(sim::Cpu &cpu);
+
+    sys::System &system_;
+    vm::AddressSpace &as_;
+    Config config_;
+    sim::Rng rng_;
+    std::uint64_t requestsDone_ = 0;
+};
+
+/** Create @p count pages of @p bytes; returns their inodes. */
+std::vector<fs::Ino> makeWebPages(sys::System &system,
+                                  const std::string &prefix,
+                                  std::uint64_t count,
+                                  std::uint64_t bytes);
+
+} // namespace dax::wl

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Append implementation.
+ */
+#include "workloads/append.h"
+
+namespace dax::wl {
+
+bool
+Append::step(sim::Cpu &cpu)
+{
+    if (filesDone_ >= config_.files)
+        return false;
+    quantumStart(cpu, system_, config_.access);
+
+    const std::string path =
+        config_.prefix + std::to_string(cpu.threadId()) + "_"
+        + std::to_string(filesDone_);
+    const fs::Ino ino = system_.fs().create(cpu, path);
+
+    if (config_.access.interface == Interface::Read) {
+        // Append via one write syscall (allocating, persists data).
+        system_.fs().write(cpu, ino, 0, nullptr, config_.appendBytes);
+        if (config_.syncEach)
+            system_.fs().fsync(cpu, ino);
+    } else {
+        // MM append: allocate + zero blocks, map them, store with
+        // non-temporal stores (paper Section III-B).
+        if (!system_.fs().fallocate(cpu, ino, 0, config_.appendBytes))
+            throw std::runtime_error("append: out of space");
+        const std::uint64_t va =
+            mapFile(cpu, system_, as_, ino, 0, config_.appendBytes,
+                    /*write=*/true, config_.access);
+        if (va == 0)
+            throw std::runtime_error("append: map failed");
+        as_.memWrite(cpu, va, config_.appendBytes, mem::Pattern::Seq,
+                     mem::WriteMode::NtStore);
+        if (config_.syncEach)
+            as_.msync(cpu, va, config_.appendBytes);
+        unmapFile(cpu, system_, as_, va, config_.appendBytes,
+                  config_.access);
+    }
+
+    // Recycle the previous file: its blocks flow to the pre-zero
+    // daemon (when enabled) and get reused by the next append.
+    if (!previous_.empty())
+        system_.fs().unlink(cpu, previous_);
+    previous_ = path;
+    filesDone_++;
+    return filesDone_ < config_.files;
+}
+
+} // namespace dax::wl

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Append workload (paper Figure 7): repeatedly create an empty file
+ * and append a payload as one operation through the interface under
+ * test, then recycle (unlink) the previous file - which, with DaxVM,
+ * feeds the asynchronous pre-zero daemon.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/common.h"
+
+namespace dax::wl {
+
+class Append : public sim::Task
+{
+  public:
+    struct Config
+    {
+        std::string prefix = "/append/";
+        std::uint64_t appendBytes = 64 * 1024;
+        std::uint64_t files = 100;
+        /** fsync after each append (kernel durability) vs user-space. */
+        bool syncEach = false;
+        AccessOptions access;
+    };
+
+    Append(sys::System &system, vm::AddressSpace &as, Config config)
+        : system_(system), as_(as), config_(std::move(config))
+    {}
+
+    bool step(sim::Cpu &cpu) override;
+    std::string name() const override { return "append"; }
+
+    std::uint64_t filesDone() const { return filesDone_; }
+    std::uint64_t bytesDone() const
+    {
+        return filesDone_ * config_.appendBytes;
+    }
+
+  private:
+    sys::System &system_;
+    vm::AddressSpace &as_;
+    Config config_;
+    std::uint64_t filesDone_ = 0;
+    std::string previous_;
+};
+
+} // namespace dax::wl

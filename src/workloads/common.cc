@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Shared workload plumbing implementation.
+ */
+#include "workloads/common.h"
+
+namespace dax::wl {
+
+std::string
+AccessOptions::label() const
+{
+    switch (interface) {
+      case Interface::Read:
+        return "read";
+      case Interface::Mmap:
+        return mapSync ? "mmap(sync)" : "mmap";
+      case Interface::MmapPopulate:
+        return "populate";
+      case Interface::DaxVm: {
+        std::string s = "daxvm";
+        if (ephemeral)
+            s += "+eph";
+        if (asyncUnmap)
+            s += "+async";
+        if (nosync)
+            s += "+nosync";
+        return s;
+      }
+    }
+    return "?";
+}
+
+std::uint64_t
+mapFile(sim::Cpu &cpu, sys::System &system, vm::AddressSpace &as,
+        fs::Ino ino, std::uint64_t off, std::uint64_t len, bool write,
+        const AccessOptions &options)
+{
+    switch (options.interface) {
+      case Interface::Read:
+        return 0;
+      case Interface::Mmap:
+      case Interface::MmapPopulate:
+        return as.mmap(cpu, ino, off, len, write, options.posixFlags());
+      case Interface::DaxVm:
+        return system.dax()->mmap(cpu, as, ino, off, len, write,
+                                  options.daxFlags());
+    }
+    return 0;
+}
+
+void
+unmapFile(sim::Cpu &cpu, sys::System &system, vm::AddressSpace &as,
+          std::uint64_t va, std::uint64_t len,
+          const AccessOptions &options)
+{
+    if (options.interface == Interface::DaxVm) {
+        system.dax()->munmap(cpu, as, va);
+        return;
+    }
+    if (options.latr) {
+        system.latr().munmapLazy(cpu, as, va);
+        return;
+    }
+    as.munmap(cpu, va, len);
+}
+
+void
+quantumStart(sim::Cpu &cpu, sys::System &system,
+             const AccessOptions &options)
+{
+    system.hub().drainDisruption(cpu);
+    if (options.latr)
+        system.latr().drain(cpu);
+}
+
+} // namespace dax::wl

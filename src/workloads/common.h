@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared workload plumbing: the interface under test (read syscalls,
+ * default DAX-mmap, mmap+populate, DaxVM with flag combinations, LATR
+ * unmap) and helpers to open/access/close files through it.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sys/system.h"
+#include "vm/file_io.h"
+
+namespace dax::wl {
+
+/** File-access interface under test. */
+enum class Interface
+{
+    Read,         ///< read/write system calls
+    Mmap,         ///< default DAX mmap (lazy faults)
+    MmapPopulate, ///< mmap with MAP_POPULATE
+    DaxVm,        ///< daxvm_mmap
+};
+
+struct AccessOptions
+{
+    Interface interface = Interface::Read;
+    /** DaxVM flags. */
+    bool ephemeral = false;
+    bool asyncUnmap = false;
+    bool nosync = false;
+    /** Use MAP_SYNC (user-space durability over ext4 needs it). */
+    bool mapSync = false;
+    /** Replace munmap's shootdown with LATR lazy invalidation. */
+    bool latr = false;
+
+    unsigned
+    daxFlags() const
+    {
+        unsigned flags = 0;
+        if (ephemeral)
+            flags |= vm::kMapEphemeral;
+        if (asyncUnmap)
+            flags |= vm::kMapUnmapAsync;
+        if (nosync)
+            flags |= vm::kMapNoMsync;
+        if (mapSync)
+            flags |= vm::kMapSync;
+        return flags;
+    }
+
+    unsigned
+    posixFlags() const
+    {
+        unsigned flags = 0;
+        if (interface == Interface::MmapPopulate)
+            flags |= vm::kMapPopulate;
+        if (mapSync)
+            flags |= vm::kMapSync;
+        return flags;
+    }
+
+    bool usesMmap() const { return interface != Interface::Read; }
+
+    /** Human-readable label used by benches. */
+    std::string label() const;
+};
+
+/**
+ * Map a file through the configured mapping interface.
+ * @return user virtual address (0 on failure).
+ */
+std::uint64_t mapFile(sim::Cpu &cpu, sys::System &system,
+                      vm::AddressSpace &as, fs::Ino ino,
+                      std::uint64_t off, std::uint64_t len, bool write,
+                      const AccessOptions &options);
+
+/** Unmap through the configured interface (handles LATR/daxvm). */
+void unmapFile(sim::Cpu &cpu, sys::System &system, vm::AddressSpace &as,
+               std::uint64_t va, std::uint64_t len,
+               const AccessOptions &options);
+
+/** Quantum-start housekeeping: IPI disruption and LATR sweeps. */
+void quantumStart(sim::Cpu &cpu, sys::System &system,
+                  const AccessOptions &options);
+
+} // namespace dax::wl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Filesweep implementation.
+ */
+#include "workloads/filesweep.h"
+
+namespace dax::wl {
+
+bool
+Filesweep::step(sim::Cpu &cpu)
+{
+    if (next_ >= config_.paths.size())
+        return false;
+    quantumStart(cpu, system_, config_.access);
+
+    const std::string &path = config_.paths[next_++];
+    auto open = system_.open(cpu, path);
+    if (!open)
+        throw std::runtime_error("filesweep: missing " + path);
+    const fs::Ino ino = open->ino;
+    const std::uint64_t size = system_.fs().inode(ino).size;
+
+    if (config_.access.interface == Interface::Read) {
+        // read() into a private buffer, then consume it cache-hot.
+        system_.fs().read(cpu, ino, 0, nullptr, size);
+        vm::processCached(cpu, system_.cm(), size);
+    } else {
+        const std::uint64_t va = mapFile(cpu, system_, as_, ino, 0,
+                                         size, false, config_.access);
+        if (va == 0)
+            throw std::runtime_error("filesweep: map failed " + path);
+        // Consume the content in place at 8-byte granularity.
+        as_.memRead(cpu, va, size, mem::Pattern::Seq);
+        unmapFile(cpu, system_, as_, va, size, config_.access);
+    }
+    if (config_.computeNsPerByte > 0.0)
+        vm::chargeCompute(cpu, config_.computeNsPerByte, size);
+
+    system_.vfs().close(cpu, ino);
+    filesDone_++;
+    bytesDone_ += size;
+    return next_ < config_.paths.size();
+}
+
+std::vector<std::string>
+makeFileSet(sys::System &system, const std::string &prefix,
+            std::uint64_t count, std::uint64_t bytes)
+{
+    std::vector<std::string> paths;
+    paths.reserve(count);
+    for (std::uint64_t i = 0; i < count; i++) {
+        const std::string path = prefix + std::to_string(i);
+        system.makeFile(path, bytes);
+        paths.push_back(path);
+    }
+    return paths;
+}
+
+} // namespace dax::wl

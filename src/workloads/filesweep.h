@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Ephemeral (read-once) file access workload: open N files, consume
+ * their content once, close them - the server pattern behind paper
+ * Figures 1a/1b/4. One file per engine quantum.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace dax::wl {
+
+class Filesweep : public sim::Task
+{
+  public:
+    struct Config
+    {
+        /** Paths this thread sweeps (usually disjoint per thread). */
+        std::vector<std::string> paths;
+        AccessOptions access;
+        /** Extra compute per byte while consuming (0 = pure sum). */
+        double computeNsPerByte = 0.0;
+    };
+
+    Filesweep(sys::System &system, vm::AddressSpace &as, Config config)
+        : system_(system), as_(as), config_(std::move(config))
+    {}
+
+    bool step(sim::Cpu &cpu) override;
+    std::string name() const override { return "filesweep"; }
+
+    std::uint64_t filesDone() const { return filesDone_; }
+    std::uint64_t bytesDone() const { return bytesDone_; }
+
+  private:
+    sys::System &system_;
+    vm::AddressSpace &as_;
+    Config config_;
+    std::size_t next_ = 0;
+    std::uint64_t filesDone_ = 0;
+    std::uint64_t bytesDone_ = 0;
+};
+
+/**
+ * Create @p count files of @p bytes each under @p prefix (untimed
+ * setup). @return the created paths.
+ */
+std::vector<std::string> makeFileSet(sys::System &system,
+                                     const std::string &prefix,
+                                     std::uint64_t count,
+                                     std::uint64_t bytes);
+
+} // namespace dax::wl

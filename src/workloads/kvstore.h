@@ -1,0 +1,104 @@
+/**
+ * @file
+ * pmem-RocksDB-like LSM key-value store (paper Figure 9c substrate).
+ *
+ * The storage interactions mirror Intel's PMem-optimized RocksDB:
+ * SSTables and write-ahead logs live on the DAX file system and are
+ * memory-mapped; writes go straight to PMem with non-temporal stores
+ * and durability is managed from user-space (no fsync) - which over
+ * ext4 requires MAP_SYNC and makes every first-touch write fault
+ * commit the journal; WAL/SSTable files are recycled to curb paging
+ * and zeroing costs.
+ *
+ * Structure: a DRAM memtable absorbs puts (logged to the WAL); full
+ * memtables flush to L0 SSTables; when too many L0 tables pile up the
+ * oldest ones are merged (compaction-lite). Gets probe the memtable
+ * and then SSTables newest-first through an in-memory index.
+ */
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "workloads/common.h"
+
+namespace dax::wl {
+
+class KvStore
+{
+  public:
+    struct Config
+    {
+        std::string dir = "/kv/";
+        std::uint64_t recordBytes = 4096;
+        /** Memtable capacity in records (== WAL/SSTable size). */
+        std::uint64_t memtableRecords = 4096;
+        /** L0 tables triggering compaction. */
+        std::size_t compactionTrigger = 8;
+        /** Tables merged per compaction. */
+        std::size_t compactionWidth = 4;
+        AccessOptions access;
+    };
+
+    KvStore(sys::System &system, vm::AddressSpace &as, Config config);
+    ~KvStore();
+
+    /** Insert/update a record. */
+    void put(sim::Cpu &cpu, std::uint64_t key);
+
+    /** Point lookup. @return true when the key exists. */
+    bool get(sim::Cpu &cpu, std::uint64_t key);
+
+    /** Range scan of up to @p count records starting at @p key. */
+    void scan(sim::Cpu &cpu, std::uint64_t key, unsigned count);
+
+    // Introspection ------------------------------------------------------
+    std::size_t sstables() const { return ssts_.size(); }
+    std::uint64_t flushes() const { return flushes_; }
+    std::uint64_t compactions() const { return compactions_; }
+    std::uint64_t puts() const { return puts_; }
+    std::uint64_t gets() const { return gets_; }
+
+  private:
+    struct Sst
+    {
+        std::string path;
+        fs::Ino ino = 0;
+        std::uint64_t va = 0;
+        /** In-memory index block: sorted keys (host metadata). */
+        std::vector<std::uint64_t> keys;
+    };
+
+    void openWal(sim::Cpu &cpu);
+    void flushMemtable(sim::Cpu &cpu);
+    void maybeCompact(sim::Cpu &cpu);
+    std::uint64_t mapKvFile(sim::Cpu &cpu, fs::Ino ino,
+                            std::uint64_t bytes);
+
+    sys::System &system_;
+    vm::AddressSpace &as_;
+    Config config_;
+    std::uint64_t serial_ = 0;
+
+    /** Memtable: key set (record payloads are cost-only). */
+    std::set<std::uint64_t> memtable_;
+    std::string walPath_;
+    fs::Ino walIno_ = 0;
+    std::uint64_t walVa_ = 0;
+    std::uint64_t walOff_ = 0;
+    /** Recycled WAL file (paper: RocksDB recycles logs). */
+    std::string recycledWal_;
+
+    std::deque<Sst> ssts_; ///< newest at the back
+
+    std::uint64_t flushes_ = 0;
+    std::uint64_t compactions_ = 0;
+    std::uint64_t puts_ = 0;
+    std::uint64_t gets_ = 0;
+};
+
+} // namespace dax::wl

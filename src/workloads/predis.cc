@@ -1,0 +1,53 @@
+/**
+ * @file
+ * PRedisServer implementation.
+ */
+#include "workloads/predis.h"
+
+namespace dax::wl {
+
+bool
+PRedisServer::step(sim::Cpu &cpu)
+{
+    quantumStart(cpu, system_, config_.access);
+
+    if (storeVa_ == 0) {
+        // Server boot: map the persistent cache and index.
+        const sim::Time bootStart = cpu.now();
+        storeVa_ = mapFile(cpu, system_, as_, config_.store, 0,
+                           config_.storeBytes, /*write=*/true,
+                           config_.access);
+        indexVa_ = mapFile(cpu, system_, as_, config_.index, 0,
+                           config_.indexBytes, /*write=*/true,
+                           config_.access);
+        if (storeVa_ == 0 || indexVa_ == 0)
+            throw std::runtime_error("predis: map failed");
+        bootLatency_ = cpu.now() - bootStart;
+        timeline_.emplace_back(cpu.now(), 0);
+        return true;
+    }
+
+    const std::uint64_t values =
+        config_.storeBytes / config_.valueBytes;
+    for (std::uint64_t i = 0;
+         i < config_.opsPerQuantum && opsDone_ < config_.ops; i++) {
+        // GET: hash-table probe in the index, then the value read.
+        const std::uint64_t v = rng_.below(values);
+        const std::uint64_t slot =
+            (v * 0x9e3779b97f4a7c15ULL) % (config_.indexBytes / 64);
+        as_.memRead(cpu, indexVa_ + slot * 64, 64, mem::Pattern::Rand);
+        as_.memRead(cpu, storeVa_ + v * config_.valueBytes,
+                    config_.valueBytes, mem::Pattern::Rand);
+        opsDone_++;
+        if (opsDone_ % config_.sampleOps == 0) {
+            timeline_.emplace_back(cpu.now(), opsDone_);
+            // The MMU monitor migrates PMem-resident file tables to
+            // DRAM when random-access walks dominate (Table III).
+            if (config_.access.interface == Interface::DaxVm)
+                system_.dax()->pollMonitor(cpu, as_, config_.store);
+        }
+    }
+    return opsDone_ < config_.ops;
+}
+
+} // namespace dax::wl

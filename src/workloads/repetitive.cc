@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Repetitive implementation.
+ */
+#include "workloads/repetitive.h"
+
+namespace dax::wl {
+
+void
+Repetitive::oneOp(sim::Cpu &cpu)
+{
+    const std::uint64_t span = config_.fileBytes - config_.opBytes;
+    std::uint64_t off;
+    if (config_.randomOrder) {
+        off = rng_.below(span);
+        // Align records for realism (no torn records).
+        off = off / config_.opBytes * config_.opBytes;
+    } else {
+        off = seqOff_;
+        seqOff_ += config_.opBytes;
+        if (seqOff_ + config_.opBytes > config_.fileBytes)
+            seqOff_ = 0;
+    }
+    const mem::Pattern pattern = config_.randomOrder
+                                     ? mem::Pattern::Rand
+                                     : mem::Pattern::Seq;
+
+    if (config_.access.interface == Interface::Read) {
+        if (config_.write) {
+            system_.fs().write(cpu, config_.ino, off, nullptr,
+                               config_.opBytes);
+            if (config_.writesPerSync != 0
+                && ++writesSinceSync_ >= config_.writesPerSync) {
+                system_.fs().fsync(cpu, config_.ino);
+                writesSinceSync_ = 0;
+            }
+        } else {
+            system_.fs().read(cpu, config_.ino, off, nullptr,
+                              config_.opBytes, !config_.randomOrder);
+            vm::processCached(cpu, system_.cm(), config_.opBytes);
+        }
+        return;
+    }
+
+    // Mapped access: AVX-512 memcpy with non-temporal stores for
+    // writes (paper Section V-B methodology).
+    if (config_.write) {
+        const bool userSync = config_.writesPerSync == 0;
+        as_.memWrite(cpu, va_ + off, config_.opBytes, pattern,
+                     userSync ? mem::WriteMode::NtStore
+                              : mem::WriteMode::Cached);
+        if (!userSync && ++writesSinceSync_ >= config_.writesPerSync) {
+            as_.msync(cpu, va_, config_.fileBytes);
+            writesSinceSync_ = 0;
+        }
+    } else {
+        as_.memRead(cpu, va_ + off, config_.opBytes, pattern);
+    }
+}
+
+bool
+Repetitive::step(sim::Cpu &cpu)
+{
+    quantumStart(cpu, system_, config_.access);
+    if (config_.access.usesMmap() && va_ == 0) {
+        va_ = mapFile(cpu, system_, as_, config_.ino, 0,
+                      config_.fileBytes, config_.write, config_.access);
+        if (va_ == 0)
+            throw std::runtime_error("repetitive: map failed");
+    }
+    for (std::uint64_t i = 0;
+         i < config_.opsPerQuantum && opsDone_ < config_.ops; i++) {
+        oneOp(cpu);
+        opsDone_++;
+        if (config_.monitorPollOps != 0
+            && opsDone_ % config_.monitorPollOps == 0
+            && config_.access.interface == Interface::DaxVm) {
+            system_.dax()->pollMonitor(cpu, as_, config_.ino);
+        }
+    }
+    return opsDone_ < config_.ops;
+}
+
+} // namespace dax::wl

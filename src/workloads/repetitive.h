@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Repetitive access over one large mapped file (database pattern):
+ * sequential/random reads and overwrites of small records, paper
+ * Figures 1c/5 and the sync experiment of Figure 6.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/rng.h"
+#include "workloads/common.h"
+
+namespace dax::wl {
+
+class Repetitive : public sim::Task
+{
+  public:
+    struct Config
+    {
+        fs::Ino ino = 0;
+        std::uint64_t fileBytes = 0;
+        std::uint32_t opBytes = 4096;
+        bool write = false;
+        bool randomOrder = false;
+        /** Total operations this thread performs. */
+        std::uint64_t ops = 0;
+        /** Operations per engine quantum. */
+        std::uint64_t opsPerQuantum = 8;
+        /** fsync/msync every N writes (0 = user-space durability). */
+        std::uint64_t writesPerSync = 0;
+        /** Poll the DaxVM MMU monitor every N ops (0 = never). */
+        std::uint64_t monitorPollOps = 0;
+        AccessOptions access;
+        std::uint64_t seed = 1;
+    };
+
+    Repetitive(sys::System &system, vm::AddressSpace &as, Config config)
+        : system_(system), as_(as), config_(config), rng_(config.seed)
+    {}
+
+    bool step(sim::Cpu &cpu) override;
+    std::string name() const override { return "repetitive"; }
+
+    std::uint64_t opsDone() const { return opsDone_; }
+    std::uint64_t bytesDone() const
+    {
+        return opsDone_ * config_.opBytes;
+    }
+
+  private:
+    void oneOp(sim::Cpu &cpu);
+
+    sys::System &system_;
+    vm::AddressSpace &as_;
+    Config config_;
+    sim::Rng rng_;
+    std::uint64_t va_ = 0;
+    std::uint64_t seqOff_ = 0;
+    std::uint64_t opsDone_ = 0;
+    std::uint64_t writesSinceSync_ = 0;
+};
+
+} // namespace dax::wl

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Corpus generation for the text-search workload.
+ */
+#include "workloads/textsearch.h"
+
+#include <cmath>
+
+namespace dax::wl {
+
+std::vector<std::string>
+makeSourceTreeCorpus(sys::System &system, const std::string &prefix,
+                     std::uint64_t files, std::uint64_t seed,
+                     std::uint64_t maxTotalBytes)
+{
+    sim::Rng rng(seed);
+    std::vector<std::string> paths;
+    paths.reserve(files);
+    std::uint64_t total = 0;
+    for (std::uint64_t i = 0; i < files; i++) {
+        // Source files: lognormal in log2 space, median 2^13 = 8 KB,
+        // clipped to [512 B, 512 KB]; every ~10000th file is a large
+        // git pack (up to tens of MB).
+        std::uint64_t size;
+        if (i % 10000 == 9999) {
+            size = (16ULL << 20) + rng.below(32ULL << 20);
+        } else {
+            const double u1 = rng.uniform();
+            const double u2 = rng.uniform();
+            const double n = std::sqrt(-2.0 * std::log(u1 + 1e-12))
+                           * std::cos(6.283185307179586 * u2);
+            double l = 13.0 + 1.6 * n;
+            if (l < 9.0)
+                l = 9.0;
+            if (l > 19.0)
+                l = 19.0;
+            size = static_cast<std::uint64_t>(std::pow(2.0, l));
+        }
+        if (maxTotalBytes != 0 && total + size > maxTotalBytes)
+            break;
+        const std::string path = prefix + std::to_string(i);
+        system.makeFile(path, size);
+        paths.push_back(path);
+        total += size;
+    }
+    return paths;
+}
+
+std::vector<std::string>
+sliceForThread(const std::vector<std::string> &paths, unsigned idx,
+               unsigned count)
+{
+    std::vector<std::string> slice;
+    for (std::size_t i = idx; i < paths.size(); i += count)
+        slice.push_back(paths[i]);
+    return slice;
+}
+
+} // namespace dax::wl

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Text search (ag / The Silver Searcher) over a Linux-source-tree-like
+ * corpus (paper Figure 9a): threads sweep a shared list of small
+ * files, searching each one for a string - an ephemeral access
+ * pattern that never copies data out of PMem with mapped access.
+ *
+ * The sweep itself reuses the Filesweep task with a per-byte search
+ * compute cost; this header provides the corpus generator.
+ */
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/filesweep.h"
+
+namespace dax::wl {
+
+/**
+ * Create a corpus resembling the Linux source tree: @p files files
+ * (paper: 68 K) with a lognormal size distribution (median ~8 KB)
+ * plus a few large git pack files; total ~0.9 GB at paper scale.
+ * @return paths in creation order.
+ */
+std::vector<std::string> makeSourceTreeCorpus(sys::System &system,
+                                              const std::string &prefix,
+                                              std::uint64_t files,
+                                              std::uint64_t seed = 7,
+                                              std::uint64_t maxTotalBytes
+                                              = 0);
+
+/** Slice @p paths for thread @p idx of @p count (round robin). */
+std::vector<std::string> sliceForThread(
+    const std::vector<std::string> &paths, unsigned idx,
+    unsigned count);
+
+} // namespace dax::wl

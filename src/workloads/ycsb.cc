@@ -1,0 +1,44 @@
+/**
+ * @file
+ * YcsbRunner implementation.
+ */
+#include "workloads/ycsb.h"
+
+namespace dax::wl {
+
+bool
+YcsbRunner::step(sim::Cpu &cpu)
+{
+    KvStore &kv = *config_.kv;
+    if (nextInsert_ == 0)
+        nextInsert_ = config_.records;
+
+    for (std::uint64_t i = 0;
+         i < config_.opsPerQuantum && opsDone_ < config_.ops; i++) {
+        const double u = rng_.uniform();
+        const YcsbMix &mix = config_.mix;
+        if (u < mix.insert) {
+            kv.put(cpu, nextInsert_++);
+        } else if (u < mix.insert + mix.update) {
+            kv.put(cpu, zipf_.next(rng_));
+        } else if (u < mix.insert + mix.update + mix.scan) {
+            kv.scan(cpu, zipf_.next(rng_), config_.scanLength);
+        } else {
+            std::uint64_t key;
+            if (mix.readLatest && nextInsert_ > config_.records) {
+                // Skew towards recently inserted keys.
+                const std::uint64_t back =
+                    zipf_.next(rng_) % (nextInsert_ - config_.records
+                                        + 1);
+                key = nextInsert_ - 1 - back;
+            } else {
+                key = zipf_.next(rng_);
+            }
+            kv.get(cpu, key);
+        }
+        opsDone_++;
+    }
+    return opsDone_ < config_.ops;
+}
+
+} // namespace dax::wl

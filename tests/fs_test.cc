@@ -1,0 +1,439 @@
+/**
+ * @file
+ * Unit tests for the file-system layer: extent allocator, journal,
+ * ext4-DAX vs NOVA personalities, VFS inode cache, aging.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fs/aging.h"
+#include "fs/block_alloc.h"
+#include "fs/file_system.h"
+#include "fs/vfs.h"
+#include "mem/device.h"
+
+using namespace dax;
+using namespace dax::fs;
+
+namespace {
+
+struct Fixture
+{
+    explicit Fixture(Personality personality = Personality::Ext4Dax,
+                     std::uint64_t bytes = 256ULL << 20)
+        : pmem(mem::Kind::Pmem, bytes, cm, mem::Backing::Sparse),
+          fs(personality, pmem, 0, bytes, cm)
+    {}
+
+    sim::CostModel cm;
+    mem::Device pmem;
+    FileSystem fs;
+    sim::Cpu cpu{nullptr, 0, 0};
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// BlockAllocator
+// ---------------------------------------------------------------------
+
+TEST(BlockAllocator, ContiguousWhenFresh)
+{
+    BlockAllocator alloc(1024, 0);
+    auto got = alloc.alloc(100, 0);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].count, 100u);
+    EXPECT_EQ(alloc.freeBlocks(), 924u);
+}
+
+TEST(BlockAllocator, FreeCoalesces)
+{
+    BlockAllocator alloc(1024, 0);
+    auto a = alloc.alloc(100, 0);
+    auto b = alloc.alloc(100, 0);
+    alloc.free(a[0]);
+    alloc.free(b[0]);
+    EXPECT_EQ(alloc.freeExtents(), 1u);
+    EXPECT_EQ(alloc.freeBlocks(), 1024u);
+    EXPECT_EQ(alloc.largestFreeExtent(), 1024u);
+}
+
+TEST(BlockAllocator, FragmentationForcesMultipleExtents)
+{
+    BlockAllocator alloc(1000, 0);
+    // Carve ten 100-block extents, free every other one.
+    std::vector<Extent> held;
+    for (int i = 0; i < 10; i++)
+        held.push_back(alloc.alloc(100, 0)[0]);
+    for (int i = 0; i < 10; i += 2)
+        alloc.free(held[static_cast<unsigned>(i)]);
+    auto got = alloc.alloc(250, 0);
+    std::uint64_t total = 0;
+    for (const auto &e : got)
+        total += e.count;
+    EXPECT_EQ(total, 250u);
+    EXPECT_GE(got.size(), 3u); // had to gather fragments
+}
+
+TEST(BlockAllocator, EnospcReturnsEmptyAndRollsBack)
+{
+    BlockAllocator alloc(100, 0);
+    const auto before = alloc.freeBlocks();
+    auto got = alloc.alloc(101, 0);
+    EXPECT_TRUE(got.empty());
+    EXPECT_EQ(alloc.freeBlocks(), before);
+}
+
+TEST(BlockAllocator, DoubleFreeThrows)
+{
+    BlockAllocator alloc(100, 0);
+    auto got = alloc.alloc(10, 0);
+    alloc.free(got[0]);
+    EXPECT_THROW(alloc.free(got[0]), std::logic_error);
+}
+
+TEST(BlockAllocator, HugeAlignedPreferenceAlignsLargeFiles)
+{
+    BlockAllocator alloc(4096, 0);
+    alloc.alloc(3, 0); // misalign the frontier
+    auto got = alloc.alloc(1024, 0, nullptr, /*preferHugeAligned=*/true);
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].block % kBlocksPerHuge, 0u);
+}
+
+TEST(BlockAllocator, ZeroedPoolPreferred)
+{
+    BlockAllocator alloc(1024, 0);
+    auto got = alloc.alloc(64, 0);
+    alloc.free(got[0]); // no sink: back to the free map
+    // Simulate the daemon: move 64 blocks to the zeroed pool.
+    auto raw = alloc.alloc(64, 0);
+    alloc.freeZeroed(raw[0]);
+    std::vector<bool> zeroed;
+    auto z = alloc.alloc(32, 0, &zeroed);
+    ASSERT_EQ(z.size(), 1u);
+    ASSERT_EQ(zeroed.size(), 1u);
+    EXPECT_TRUE(zeroed[0]);
+    EXPECT_EQ(alloc.zeroedBlocks(), 32u);
+}
+
+TEST(BlockAllocator, HugeAlignedFreeFractionDegrades)
+{
+    BlockAllocator alloc(8192, 0);
+    EXPECT_NEAR(alloc.hugeAlignedFreeFraction(), 1.0, 0.15);
+    // Punch small holes everywhere.
+    std::vector<Extent> held;
+    for (int i = 0; i < 50; i++)
+        held.push_back(alloc.alloc(130, 0)[0]);
+    for (std::size_t i = 0; i < held.size(); i += 2)
+        alloc.free(held[i]);
+    EXPECT_LT(alloc.hugeAlignedFreeFraction(), 0.9);
+}
+
+// ---------------------------------------------------------------------
+// FileSystem
+// ---------------------------------------------------------------------
+
+TEST(FileSystem, CreateLookupUnlink)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/a");
+    EXPECT_EQ(f.fs.lookupPath("/a"), std::optional<Ino>(ino));
+    EXPECT_TRUE(f.fs.unlink(f.cpu, "/a"));
+    EXPECT_FALSE(f.fs.lookupPath("/a").has_value());
+    EXPECT_FALSE(f.fs.unlink(f.cpu, "/a"));
+}
+
+TEST(FileSystem, DuplicateCreateThrows)
+{
+    Fixture f;
+    f.fs.create(f.cpu, "/a");
+    EXPECT_THROW(f.fs.create(f.cpu, "/a"), std::invalid_argument);
+}
+
+TEST(FileSystem, WriteReadRoundTrip)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/data");
+    std::vector<std::uint8_t> in(10000);
+    for (std::size_t i = 0; i < in.size(); i++)
+        in[i] = static_cast<std::uint8_t>(i * 7);
+    EXPECT_EQ(f.fs.write(f.cpu, ino, 0, in.data(), in.size()),
+              in.size());
+    EXPECT_EQ(f.fs.inode(ino).size, in.size());
+    std::vector<std::uint8_t> out(in.size());
+    EXPECT_EQ(f.fs.read(f.cpu, ino, 0, out.data(), out.size()),
+              out.size());
+    EXPECT_EQ(in, out);
+}
+
+TEST(FileSystem, WriteAtOffsetExtends)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/data");
+    f.fs.fallocate(f.cpu, ino, 0, 8192);
+    const char msg[] = "hello";
+    f.fs.write(f.cpu, ino, 8000, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    f.fs.read(f.cpu, ino, 8000, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(FileSystem, ReadBeyondEofTruncated)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/data");
+    f.fs.write(f.cpu, ino, 0, nullptr, 1000);
+    std::uint8_t buf[2000];
+    EXPECT_EQ(f.fs.read(f.cpu, ino, 500, buf, 2000), 500u);
+    EXPECT_EQ(f.fs.read(f.cpu, ino, 1000, buf, 10), 0u);
+}
+
+TEST(FileSystem, FallocateZeroesRecycledBlocks)
+{
+    Fixture f;
+    // Dirty some blocks then free them (simulating a deleted file).
+    const Ino other = f.fs.create(f.cpu, "/tmp");
+    std::vector<std::uint8_t> junk(16384, 0xAB);
+    f.fs.write(f.cpu, other, 0, junk.data(), junk.size());
+    f.fs.unlink(f.cpu, "/tmp");
+    // Now fallocate over the recycled blocks: must read back zero.
+    const Ino ino = f.fs.create(f.cpu, "/sec");
+    ASSERT_TRUE(f.fs.fallocate(f.cpu, ino, 0, 16384));
+    const Inode &node = f.fs.inode(ino);
+    for (const auto &[fb, e] : node.extents) {
+        (void)fb;
+        EXPECT_TRUE(f.pmem.isZero(f.fs.blockAddr(e.block), e.bytes()));
+    }
+}
+
+TEST(FileSystem, Ext4ZeroesOnWriteSyscallNovaDoesNot)
+{
+    Fixture ext4(Personality::Ext4Dax);
+    Fixture nova(Personality::Nova);
+    const Ino a = ext4.fs.create(ext4.cpu, "/f");
+    const Ino b = nova.fs.create(nova.cpu, "/f");
+    ext4.fs.write(ext4.cpu, a, 0, nullptr, 1 << 20);
+    nova.fs.write(nova.cpu, b, 0, nullptr, 1 << 20);
+    EXPECT_GT(ext4.fs.stats().get("fs.zeroed_blocks"), 0u);
+    EXPECT_EQ(nova.fs.stats().get("fs.zeroed_blocks"), 0u);
+}
+
+TEST(FileSystem, TruncateFreesBlocks)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/t");
+    f.fs.fallocate(f.cpu, ino, 0, 1 << 20);
+    const auto freeBefore = f.fs.allocator().freeBlocks();
+    f.fs.ftruncate(f.cpu, ino, 4096);
+    EXPECT_EQ(f.fs.allocator().freeBlocks(),
+              freeBefore + (1 << 20) / kBlockSize - 1);
+    EXPECT_EQ(f.fs.inode(ino).size, 4096u);
+    EXPECT_EQ(f.fs.inode(ino).allocatedBlocks(), 1u);
+}
+
+TEST(FileSystem, JournalCommitOnFsync)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/j");
+    f.fs.fallocate(f.cpu, ino, 0, 4096);
+    EXPECT_TRUE(f.fs.journal().isDirty(ino));
+    f.fs.fsync(f.cpu, ino);
+    EXPECT_FALSE(f.fs.journal().isDirty(ino));
+    const auto commits = f.fs.journal().commits();
+    f.fs.fsync(f.cpu, ino); // clean: no extra commit
+    EXPECT_EQ(f.fs.journal().commits(), commits);
+}
+
+TEST(FileSystem, NovaCommitCheaperThanExt4)
+{
+    Fixture ext4(Personality::Ext4Dax);
+    Fixture nova(Personality::Nova);
+    const Ino a = ext4.fs.create(ext4.cpu, "/f");
+    const Ino b = nova.fs.create(nova.cpu, "/f");
+    sim::Cpu c1(nullptr, 0, 0), c2(nullptr, 0, 0);
+    ext4.fs.journal().commit(c1, a);
+    nova.fs.journal().commit(c2, b);
+    EXPECT_GT(c1.now(), c2.now() * 5);
+}
+
+TEST(FileSystem, ExtentMergingKeepsTreeSmall)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/seq");
+    // Sequential appends on a fresh image: extents merge into one.
+    for (int i = 0; i < 16; i++)
+        f.fs.write(f.cpu, ino, static_cast<std::uint64_t>(i) * 4096,
+                   nullptr, 4096);
+    EXPECT_EQ(f.fs.inode(ino).extents.size(), 1u);
+}
+
+TEST(FileSystem, ListByPrefix)
+{
+    Fixture f;
+    f.fs.create(f.cpu, "/web/a");
+    f.fs.create(f.cpu, "/web/b");
+    f.fs.create(f.cpu, "/other/c");
+    EXPECT_EQ(f.fs.list("/web/").size(), 2u);
+    EXPECT_EQ(f.fs.list("/").size(), 3u);
+    EXPECT_TRUE(f.fs.list("/nope/").empty());
+}
+
+TEST(FileSystem, InodeFindResolvesRuns)
+{
+    Fixture f;
+    const Ino ino = f.fs.create(f.cpu, "/r");
+    f.fs.fallocate(f.cpu, ino, 0, 64 * 4096);
+    const Inode &node = f.fs.inode(ino);
+    const auto run = node.find(10);
+    ASSERT_TRUE(run.has_value());
+    EXPECT_GE(run->count, 1u);
+    EXPECT_FALSE(node.find(64).has_value());
+}
+
+// ---------------------------------------------------------------------
+// VFS
+// ---------------------------------------------------------------------
+
+TEST(Vfs, ColdThenWarmOpen)
+{
+    Fixture f;
+    Vfs vfs(f.fs, f.cm, 16);
+    f.fs.create(f.cpu, "/x");
+    auto first = vfs.open(f.cpu, "/x");
+    ASSERT_TRUE(first.has_value());
+    EXPECT_TRUE(first->cold);
+    vfs.close(f.cpu, first->ino);
+    auto second = vfs.open(f.cpu, "/x");
+    EXPECT_FALSE(second->cold);
+    vfs.close(f.cpu, second->ino);
+    EXPECT_EQ(vfs.coldOpens(), 1u);
+    EXPECT_EQ(vfs.warmOpens(), 1u);
+}
+
+TEST(Vfs, ColdOpenCostsMore)
+{
+    Fixture f;
+    Vfs vfs(f.fs, f.cm, 16);
+    f.fs.create(f.cpu, "/x");
+    sim::Cpu cold(nullptr, 0, 0), warm(nullptr, 0, 0);
+    vfs.open(cold, "/x");
+    vfs.close(cold, *f.fs.lookupPath("/x"));
+    vfs.open(warm, "/x");
+    EXPECT_GT(cold.now(), warm.now());
+}
+
+TEST(Vfs, CapacityEvictsLruUnpinned)
+{
+    Fixture f;
+    Vfs vfs(f.fs, f.cm, 2);
+    for (const char *p : {"/a", "/b", "/c"})
+        f.fs.create(f.cpu, p);
+    auto a = vfs.open(f.cpu, "/a");
+    vfs.close(f.cpu, a->ino);
+    auto b = vfs.open(f.cpu, "/b");
+    vfs.close(f.cpu, b->ino);
+    auto c = vfs.open(f.cpu, "/c"); // evicts /a (LRU)
+    vfs.close(f.cpu, c->ino);
+    EXPECT_FALSE(vfs.isCached(a->ino));
+    EXPECT_TRUE(vfs.isCached(b->ino));
+    EXPECT_TRUE(vfs.isCached(c->ino));
+}
+
+TEST(Vfs, PinnedInodesNotEvicted)
+{
+    Fixture f;
+    Vfs vfs(f.fs, f.cm, 1);
+    f.fs.create(f.cpu, "/a");
+    f.fs.create(f.cpu, "/b");
+    auto a = vfs.open(f.cpu, "/a"); // pinned (not closed)
+    auto b = vfs.open(f.cpu, "/b");
+    EXPECT_TRUE(vfs.isCached(a->ino));
+    vfs.close(f.cpu, a->ino);
+    vfs.close(f.cpu, b->ino);
+}
+
+TEST(Vfs, OpenMissingReturnsNullopt)
+{
+    Fixture f;
+    Vfs vfs(f.fs, f.cm, 4);
+    EXPECT_FALSE(vfs.open(f.cpu, "/missing").has_value());
+}
+
+TEST(Vfs, DropCachesEvictsEverythingUnpinned)
+{
+    Fixture f;
+    Vfs vfs(f.fs, f.cm, 0);
+    f.fs.create(f.cpu, "/a");
+    auto a = vfs.open(f.cpu, "/a");
+    vfs.close(f.cpu, a->ino);
+    EXPECT_EQ(vfs.cachedCount(), 1u);
+    vfs.dropCaches();
+    EXPECT_EQ(vfs.cachedCount(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Aging
+// ---------------------------------------------------------------------
+
+TEST(Aging, AgrawalSizesInRange)
+{
+    sim::Rng rng(5);
+    for (int i = 0; i < 10000; i++) {
+        const auto s = drawAgrawalSize(rng);
+        ASSERT_GE(s, 1024u);
+        ASSERT_LE(s, 64ULL << 20);
+    }
+}
+
+TEST(Aging, FragmentsTheImage)
+{
+    Fixture f(Personality::Ext4Dax, 512ULL << 20);
+    AgingConfig config;
+    config.churnFactor = 4.0;
+    const AgingReport report = ageFileSystem(f.fs, config);
+    EXPECT_GT(report.filesCreated, 100u);
+    EXPECT_GT(report.filesDeleted, 50u);
+    EXPECT_NEAR(report.utilization, 0.70, 0.12);
+    EXPECT_GT(report.freeExtents, 10u);
+    // Aged images lose most aligned-2MB free space.
+    EXPECT_LT(report.hugeAlignedFreeFraction, 0.9);
+}
+
+TEST(Aging, DeterministicForSeed)
+{
+    Fixture a(Personality::Ext4Dax, 256ULL << 20);
+    Fixture b(Personality::Ext4Dax, 256ULL << 20);
+    AgingConfig config;
+    config.churnFactor = 2.0;
+    const auto ra = ageFileSystem(a.fs, config);
+    const auto rb = ageFileSystem(b.fs, config);
+    EXPECT_EQ(ra.filesCreated, rb.filesCreated);
+    EXPECT_EQ(ra.freeExtents, rb.freeExtents);
+}
+
+TEST(FileSystem, WriteAndFallocateEnospc)
+{
+    // Tiny image: writes past capacity fail cleanly.
+    Fixture f(Personality::Ext4Dax, 1ULL << 20); // 256 blocks
+    const Ino ino = f.fs.create(f.cpu, "/big");
+    EXPECT_EQ(f.fs.write(f.cpu, ino, 0, nullptr, 2ULL << 20), 0u);
+    EXPECT_FALSE(f.fs.fallocate(f.cpu, ino, 0, 2ULL << 20));
+    // The file is untouched and smaller requests still succeed.
+    EXPECT_EQ(f.fs.inode(ino).size, 0u);
+    EXPECT_TRUE(f.fs.fallocate(f.cpu, ino, 0, 64 * 1024));
+}
+
+TEST(FileSystem, NovaMapSyncCommitIsCheapEnoughToIgnore)
+{
+    // The NOVA personality's commit must be under 1 us so MAP_SYNC
+    // faults stay cheap (paper Section V-C2).
+    Fixture nova(Personality::Nova);
+    const Ino ino = nova.fs.create(nova.cpu, "/f");
+    nova.fs.fallocate(nova.cpu, ino, 0, 4096);
+    sim::Cpu cpu(nullptr, 0, 0);
+    nova.fs.journal().commit(cpu, ino);
+    EXPECT_LT(cpu.now(), 1000u);
+}

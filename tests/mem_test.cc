@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for memory devices and frame allocation.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "mem/device.h"
+#include "mem/frame_alloc.h"
+#include "sim/engine.h"
+
+using namespace dax;
+using namespace dax::mem;
+
+namespace {
+
+sim::CostModel cm;
+
+sim::Cpu
+scratchCpu()
+{
+    return sim::Cpu(nullptr, 0, 0);
+}
+
+} // namespace
+
+TEST(Device, FullBackingRoundTripsBytes)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Full);
+    const char msg[] = "persistent";
+    dev.store(4096, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    dev.fetch(4096, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+}
+
+TEST(Device, SparseBackingRoundTripsBytes)
+{
+    Device dev(Kind::Pmem, 1ULL << 30, cm, Backing::Sparse);
+    const char msg[] = "sparse-page";
+    // Cross a page boundary on purpose.
+    dev.store(8190, msg, sizeof(msg));
+    char out[sizeof(msg)] = {};
+    dev.fetch(8190, out, sizeof(msg));
+    EXPECT_STREQ(out, msg);
+    EXPECT_EQ(dev.sparsePages(), 2u);
+}
+
+TEST(Device, SparseUntouchedReadsZero)
+{
+    Device dev(Kind::Pmem, 1ULL << 30, cm, Backing::Sparse);
+    std::uint8_t buf[64];
+    std::memset(buf, 0xff, sizeof(buf));
+    dev.fetch(123456789 / 64 * 64, buf, sizeof(buf));
+    for (const auto b : buf)
+        ASSERT_EQ(b, 0);
+    EXPECT_TRUE(dev.isZero(0, 1 << 20));
+}
+
+TEST(Device, ZeroReclaimsWholeSparsePages)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    const std::uint64_t v = 42;
+    dev.store(4096, &v, sizeof(v));
+    EXPECT_FALSE(dev.isZero(4096, 4096));
+    dev.zero(4096, 4096);
+    EXPECT_TRUE(dev.isZero(4096, 4096));
+    EXPECT_EQ(dev.sparsePages(), 0u);
+}
+
+TEST(Device, WordAccessors)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    dev.storeWord(512, 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(dev.loadWord(512), 0xdeadbeefcafef00dULL);
+    EXPECT_EQ(dev.loadWord(520), 0u);
+}
+
+TEST(Device, OutOfRangeThrows)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    std::uint8_t b = 0;
+    EXPECT_THROW(dev.fetch((1 << 20), &b, 1), std::out_of_range);
+    EXPECT_THROW(dev.store((1 << 20) - 1, &b, 2), std::out_of_range);
+}
+
+TEST(Device, PmemLoadLatencyExceedsDram)
+{
+    Device pmem(Kind::Pmem, 1 << 20, cm, Backing::None);
+    Device dram(Kind::Dram, 1 << 20, cm, Backing::None);
+    EXPECT_GT(pmem.loadLatency(), dram.loadLatency());
+}
+
+TEST(Device, SequentialReadChargesBandwidth)
+{
+    Device dev(Kind::Pmem, 16 << 20, cm, Backing::None);
+    auto cpu = scratchCpu();
+    const sim::Time t =
+        dev.read(cpu, 0, 6 * 1000 * 1000, Pattern::Seq);
+    // 6 MB at pmemReadBwCore (6 GB/s) = 1 ms.
+    EXPECT_NEAR(static_cast<double>(t), 1e6, 1e4);
+}
+
+TEST(Device, RandomReadAddsLatency)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::None);
+    auto seqCpu = scratchCpu();
+    auto randCpu = scratchCpu();
+    const sim::Time seq = dev.read(seqCpu, 0, 1024, Pattern::Seq);
+    const sim::Time rand = dev.read(randCpu, 0, 1024, Pattern::Rand);
+    EXPECT_EQ(rand, seq + cm.pmemLoadLat);
+}
+
+TEST(Device, NtStoreFasterThanClwbPath)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::None);
+    auto a = scratchCpu();
+    auto b = scratchCpu();
+    const sim::Time nt =
+        dev.write(a, 0, 1 << 16, WriteMode::NtStore, Pattern::Seq);
+    const sim::Time clwb =
+        dev.write(b, 0, 1 << 16, WriteMode::CachedFlush, Pattern::Seq);
+    EXPECT_LT(nt, clwb);
+    EXPECT_NEAR(static_cast<double>(clwb) / static_cast<double>(nt), 2.0,
+                0.1);
+}
+
+TEST(Device, KernelCopySlowerThanUser)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::None);
+    auto a = scratchCpu();
+    auto b = scratchCpu();
+    const sim::Time user = dev.read(a, 0, 1 << 16, Pattern::Seq);
+    const sim::Time kernel = dev.readKernel(b, 0, 1 << 16, Pattern::Seq);
+    EXPECT_GT(kernel, user);
+}
+
+TEST(Device, WriteBandwidthBelowReadBandwidth)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::None);
+    auto a = scratchCpu();
+    auto b = scratchCpu();
+    const sim::Time rd = dev.read(a, 0, 1 << 20, Pattern::Seq);
+    const sim::Time wr =
+        dev.write(b, 0, 1 << 20, WriteMode::NtStore, Pattern::Seq);
+    EXPECT_GT(wr, rd);
+}
+
+TEST(FrameAllocator, AllocZeroesAndRecycles)
+{
+    Device dev(Kind::Dram, 1 << 20, cm, Backing::Sparse);
+    FrameAllocator alloc(dev, 0, 1 << 20);
+    const Paddr a = alloc.alloc();
+    dev.storeWord(a, 99);
+    alloc.free(a);
+    const Paddr b = alloc.alloc();
+    EXPECT_EQ(b, a); // LIFO recycling
+    EXPECT_EQ(dev.loadWord(b), 0u); // re-zeroed
+}
+
+TEST(FrameAllocator, ExhaustionThrows)
+{
+    Device dev(Kind::Dram, 4 * kPageSize, cm, Backing::Sparse);
+    FrameAllocator alloc(dev, 0, 4 * kPageSize);
+    for (int i = 0; i < 4; i++)
+        alloc.alloc();
+    EXPECT_THROW(alloc.alloc(), std::bad_alloc);
+}
+
+TEST(FrameAllocator, TracksAllocatedCount)
+{
+    Device dev(Kind::Dram, 1 << 20, cm, Backing::Sparse);
+    FrameAllocator alloc(dev, 0, 1 << 20);
+    EXPECT_EQ(alloc.allocated(), 0u);
+    const Paddr a = alloc.alloc();
+    const Paddr b = alloc.alloc();
+    EXPECT_NE(a, b);
+    EXPECT_EQ(alloc.allocated(), 2u);
+    alloc.free(a);
+    EXPECT_EQ(alloc.allocated(), 1u);
+}
+
+TEST(FrameAllocator, RejectsForeignFrees)
+{
+    Device dev(Kind::Dram, 1 << 20, cm, Backing::Sparse);
+    FrameAllocator alloc(dev, 4096, 1 << 19);
+    EXPECT_THROW(alloc.free(0), std::invalid_argument);
+    EXPECT_THROW(alloc.free(4097), std::invalid_argument);
+}

@@ -1,0 +1,365 @@
+/**
+ * @file
+ * Unit tests for the simulation core: time, RNG, engine scheduling,
+ * lock queueing models, bandwidth resources, stats.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/busy_intervals.h"
+#include "sim/cost_model.h"
+#include "sim/engine.h"
+#include "sim/locks.h"
+#include "sim/resource.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+using namespace dax::sim;
+
+TEST(Time, CycleConversionRoundTrips)
+{
+    EXPECT_EQ(cyclesToNs(27), 10u); // 27 cycles at 2.7 GHz = 10 ns
+    EXPECT_DOUBLE_EQ(nsToCycles(10), 27.0);
+    EXPECT_EQ(5_us, 5000u);
+    EXPECT_EQ(2_ms, 2000000u);
+}
+
+TEST(Rng, DeterministicAcrossInstances)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; i++)
+        ASSERT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; i++)
+        ASSERT_LT(rng.below(13), 13u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; i++) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Zipf, SkewsTowardsLowKeys)
+{
+    Rng rng(11);
+    Zipf zipf(1000, 0.99);
+    std::uint64_t low = 0, total = 20000;
+    for (std::uint64_t i = 0; i < total; i++) {
+        const auto k = zipf.next(rng);
+        ASSERT_LT(k, 1000u);
+        if (k < 100)
+            low++;
+    }
+    // Zipf(0.99): the top 10% of keys draw well over half the mass.
+    EXPECT_GT(low, total / 2);
+}
+
+TEST(CostModel, DefaultsValidate)
+{
+    CostModel cm;
+    EXPECT_TRUE(validateCostModel(cm).empty());
+}
+
+TEST(CostModel, BrokenModelReported)
+{
+    CostModel cm;
+    cm.pmemNtStoreBwCore = 0.5;
+    cm.pmemClwbBwCore = 1.0;
+    EXPECT_FALSE(validateCostModel(cm).empty());
+}
+
+TEST(CostModel, XferMatchesBandwidth)
+{
+    // 1 GB/s == 1 byte/ns.
+    EXPECT_EQ(CostModel::xfer(1000, 1.0), 1000u);
+    EXPECT_EQ(CostModel::xfer(4096, 2.0), 2048u);
+}
+
+TEST(Engine, RunsThreadsToCompletionInTimeOrder)
+{
+    Engine engine(2);
+    std::vector<int> order;
+    int stepsA = 0, stepsB = 0;
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        order.push_back(0);
+        cpu.advance(100);
+        return ++stepsA < 3;
+    }));
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        order.push_back(1);
+        cpu.advance(250);
+        return ++stepsB < 3;
+    }));
+    const Time makespan = engine.run();
+    EXPECT_EQ(makespan, 750u);
+    // Thread 0 (faster quanta) must be scheduled more often early on.
+    ASSERT_EQ(order.size(), 6u);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[1], 1); // both at 0; tie broken by id
+}
+
+TEST(Engine, MakespanIsMaxThreadClock)
+{
+    Engine engine(4);
+    for (int i = 1; i <= 4; i++) {
+        engine.addThread(std::make_unique<FnTask>([i](Cpu &cpu) {
+            cpu.advance(static_cast<Time>(i) * 1000);
+            return false;
+        }));
+    }
+    EXPECT_EQ(engine.run(), 4000u);
+}
+
+TEST(Engine, StartAtOffsetsThreadClock)
+{
+    Engine engine(1);
+    engine.addThread(std::make_unique<FnTask>([](Cpu &cpu) {
+        cpu.advance(10);
+        return false;
+    }),
+                     -1, 5000);
+    EXPECT_EQ(engine.run(), 5010u);
+}
+
+TEST(Engine, DaemonParksAndWakes)
+{
+    Engine engine(1);
+    int daemonRuns = 0;
+    const int daemonId =
+        engine.addDaemon(std::make_unique<FnTask>([&](Cpu &cpu) {
+            daemonRuns++;
+            cpu.advance(10);
+            return false; // park again
+        }));
+    int workerSteps = 0;
+    engine.addThread(std::make_unique<FnTask>([&, daemonId](Cpu &cpu) {
+        cpu.advance(100);
+        if (workerSteps == 0)
+            cpu.engine()->wake(daemonId, cpu.now());
+        return ++workerSteps < 2; // stay alive so the daemon can run
+    }));
+    engine.run();
+    EXPECT_EQ(daemonRuns, 1);
+}
+
+TEST(Engine, ZeroCoresRejected)
+{
+    EXPECT_THROW(Engine engine(0), std::invalid_argument);
+}
+
+TEST(Mutex, SerializesCriticalSections)
+{
+    Engine engine(2);
+    Mutex mutex("m");
+    Time endA = 0, endB = 0;
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        mutex.lock(cpu);
+        cpu.advance(1000);
+        mutex.unlock(cpu);
+        endA = cpu.now();
+        return false;
+    }));
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        mutex.lock(cpu);
+        cpu.advance(1000);
+        mutex.unlock(cpu);
+        endB = cpu.now();
+        return false;
+    }));
+    engine.run();
+    // Both start at t=0 but the second must wait for the first.
+    EXPECT_EQ(std::min(endA, endB), 1000u);
+    EXPECT_EQ(std::max(endA, endB), 2000u);
+    EXPECT_EQ(mutex.stats().acquisitions, 2u);
+    EXPECT_EQ(mutex.stats().waitNs, 1000u);
+}
+
+TEST(RwSemaphore, ReadersOverlap)
+{
+    Engine engine(4);
+    RwSemaphore sem("s");
+    std::vector<Time> ends;
+    for (int i = 0; i < 4; i++) {
+        engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+            sem.lockRead(cpu);
+            cpu.advance(1000);
+            sem.unlockRead(cpu);
+            ends.push_back(cpu.now());
+            return false;
+        }));
+    }
+    engine.run();
+    for (const auto end : ends)
+        EXPECT_EQ(end, 1000u); // no reader waited
+}
+
+TEST(RwSemaphore, WriterExcludesReadersAndWriters)
+{
+    Engine engine(3);
+    RwSemaphore sem("s");
+    Time writerEnd = 0, readerEnd = 0;
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        sem.lockWrite(cpu);
+        cpu.advance(500);
+        sem.unlockWrite(cpu);
+        writerEnd = cpu.now();
+        return false;
+    }));
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        cpu.advance(100); // arrive while the writer holds the lock
+        sem.lockRead(cpu);
+        cpu.advance(10);
+        sem.unlockRead(cpu);
+        readerEnd = cpu.now();
+        return false;
+    }));
+    engine.run();
+    EXPECT_EQ(writerEnd, 500u);
+    EXPECT_EQ(readerEnd, 510u); // waited until the writer released
+}
+
+TEST(RwSemaphore, WriterWaitsForReaders)
+{
+    Engine engine(2);
+    RwSemaphore sem("s");
+    Time writerStartObserved = 0;
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        sem.lockRead(cpu);
+        cpu.advance(2000);
+        sem.unlockRead(cpu);
+        return false;
+    }));
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        cpu.advance(50);
+        sem.lockWrite(cpu);
+        writerStartObserved = cpu.now();
+        sem.unlockWrite(cpu);
+        return false;
+    }));
+    engine.run();
+    EXPECT_EQ(writerStartObserved, 2000u);
+}
+
+TEST(Resource, SingleThreadSeesCoreBandwidth)
+{
+    Engine engine(1);
+    Resource res("r", 10.0);
+    Time elapsed = 0;
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        elapsed = res.transfer(cpu, 2000, 2.0); // 2 GB/s core limit
+        return false;
+    }));
+    engine.run();
+    EXPECT_EQ(elapsed, 1000u);
+}
+
+TEST(Resource, ManyThreadsSaturateDeviceBandwidth)
+{
+    // 8 threads, each wanting 6 GB/s from a 12 GB/s device: aggregate
+    // must be device-bound, so the makespan is ~8*size/12.
+    Engine engine(8);
+    Resource res("r", 12.0);
+    for (int i = 0; i < 8; i++) {
+        engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+            res.transfer(cpu, 12000, 6.0);
+            return false;
+        }));
+    }
+    const Time makespan = engine.run();
+    EXPECT_EQ(makespan, 8 * 12000 / 12);
+    EXPECT_EQ(res.bytesTransferred(), 8u * 12000u);
+}
+
+TEST(Resource, OccupyDelaysForegroundTransfers)
+{
+    Engine engine(1);
+    Resource res("r", 1.0);
+    res.occupy(0, 5000); // daemon holds the device until t=5000
+    Time elapsed = 0;
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        elapsed = res.transfer(cpu, 1000, 10.0);
+        return false;
+    }));
+    engine.run();
+    EXPECT_EQ(elapsed, 6000u); // queued behind the daemon
+}
+
+TEST(Stats, IncrementGetMergeFormat)
+{
+    StatSet a, b;
+    a.inc("x");
+    a.inc("x", 4);
+    b.inc("x", 2);
+    b.inc("y", 7);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 7u);
+    EXPECT_EQ(a.get("y"), 7u);
+    EXPECT_EQ(a.get("absent"), 0u);
+    const std::string s = a.toString();
+    EXPECT_NE(s.find("x=7"), std::string::npos);
+    a.clear();
+    EXPECT_EQ(a.get("x"), 0u);
+}
+
+TEST(LockStats, TracksHeldTime)
+{
+    Engine engine(1);
+    Mutex mutex("m");
+    engine.addThread(std::make_unique<FnTask>([&](Cpu &cpu) {
+        ScopedLock guard(mutex, cpu);
+        cpu.advance(123);
+        return false;
+    }));
+    engine.run();
+    EXPECT_EQ(mutex.stats().heldNs, 123u);
+}
+
+TEST(BusyIntervals, FirstFreeSkipsContiguousRuns)
+{
+    BusyIntervals busy;
+    busy.insert(100, 200);
+    busy.insert(200, 300); // merges into [100, 300)
+    EXPECT_EQ(busy.size(), 1u);
+    EXPECT_EQ(busy.firstFree(50), 50u);
+    EXPECT_EQ(busy.firstFree(100), 300u);
+    EXPECT_EQ(busy.firstFree(250), 300u);
+    EXPECT_EQ(busy.firstFree(300), 300u);
+}
+
+TEST(BusyIntervals, ReserveSlotFindsGapOfRequestedSize)
+{
+    BusyIntervals busy;
+    busy.insert(100, 200);
+    busy.insert(250, 400);
+    // 50-wide gap at [200, 250): fits 50 but not 60.
+    EXPECT_EQ(busy.reserveSlot(150, 50), 200u);
+    EXPECT_EQ(busy.reserveSlot(150, 60), 400u);
+    EXPECT_EQ(busy.reserveSlot(0, 100), 0u);
+}
+
+TEST(BusyIntervals, PruneDropsOnlyPastIntervals)
+{
+    BusyIntervals busy;
+    busy.insert(100, 200);
+    busy.insert(300, 400);
+    busy.pruneBefore(250);
+    EXPECT_EQ(busy.size(), 1u);
+    EXPECT_EQ(busy.firstFree(300), 400u);
+}
