@@ -43,15 +43,19 @@ FileTable::~FileTable()
 arch::Node *
 FileTable::newNode(bool leaf)
 {
-    auto *node = new arch::Node();
+    // Allocate the frame first: zeroing it is a persistence boundary
+    // that may throw a planned CrashException, and the node must not
+    // leak when it does.
+    const auto frame = frames_.alloc();
+    auto node = std::make_unique<arch::Node>();
     node->dev = &frames_.device();
     node->frames = &frames_;
-    node->frame = frames_.alloc();
+    node->frame = frame;
     node->shared = true; // never freed by a process tree
     if (leaf)
         node->child.fill(nullptr);
     nodes_++;
-    return node;
+    return node.release();
 }
 
 void
@@ -270,6 +274,106 @@ FileTableManager::buildFromExtents(sim::Cpu *cpu, fs::Inode &inode,
         tables.table->populate(cpu, fb, extent,
                                fs_.blockAddr(0));
     }
+    // First persistent build seals a fresh durable image; an existing
+    // image means this is a re-instantiation of a surviving table.
+    if (persistent && images_.count(inode.ino) == 0)
+        updateImage(inode, true);
+}
+
+std::uint64_t
+FileTableManager::imageChecksum(const PersistentImage &img)
+{
+    std::uint64_t h = 1469598103934665603ULL; // FNV-1a offset basis
+    auto mix = [&h](std::uint64_t v) {
+        for (int i = 0; i < 8; i++) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ULL;
+        }
+    };
+    mix(img.generation);
+    for (const auto &[fb, e] : img.extents) {
+        mix(fb);
+        mix(e.block);
+        mix(e.count);
+    }
+    return h;
+}
+
+void
+FileTableManager::updateImage(const fs::Inode &inode, bool persistent)
+{
+    if (!persistent) {
+        images_.erase(inode.ino);
+        return;
+    }
+    PersistentImage &img = images_[inode.ino];
+    // The update window opens before any table line reaches the
+    // medium: a crash inside it leaves the image torn (midUpdate set,
+    // content stale) and attach-time validation falls back to a
+    // rebuild from the extent tree.
+    img.midUpdate = true;
+    if (plan_ != nullptr)
+        plan_->onEvent(sim::FaultEvent::TableUpdate, /*now=*/0);
+    img.extents.assign(inode.extents.begin(), inode.extents.end());
+    img.generation++;
+    img.checksum = imageChecksum(img);
+    img.midUpdate = false;
+}
+
+TableRecovery
+FileTableManager::recoverAll()
+{
+    TableRecovery report;
+    std::vector<fs::Ino> inos;
+    inos.reserve(images_.size());
+    for (const auto &[ino, img] : images_) {
+        (void)img;
+        inos.push_back(ino);
+    }
+    for (const fs::Ino ino : inos) {
+        if (!fs_.exists(ino)) {
+            // Uncommitted creation or unlinked file: its table frames
+            // are already gone, drop the stale image.
+            images_.erase(ino);
+            report.dropped++;
+            continue;
+        }
+        PersistentImage &img = images_[ino];
+        fs::Inode &node = fs_.inode(ino);
+
+        // Validate: sealed (not mid-update), checksum over generation
+        // + layout intact, and the layout matches the committed
+        // extent tree the journal recovered.
+        bool valid = !img.midUpdate
+                     && imageChecksum(img) == img.checksum
+                     && img.extents.size() == node.extents.size();
+        if (valid) {
+            auto it = node.extents.begin();
+            for (const auto &[fb, e] : img.extents) {
+                if (it->first != fb || it->second.block != e.block
+                    || it->second.count != e.count) {
+                    valid = false;
+                    break;
+                }
+                ++it;
+            }
+        }
+
+        auto fresh = std::make_unique<InodeTables>();
+        buildFromExtents(nullptr, node, *fresh);
+        const bool persistent = fresh->table->persistent();
+        node.priv = std::move(fresh);
+        if (valid && persistent) {
+            report.validated++;
+        } else {
+            // Torn/stale image (or the file shrank below the
+            // volatile-table policy): rebuild and re-seal.
+            report.rebuilt++;
+            fs_.stats().inc("daxvm.table_rebuilds");
+            updateImage(node, persistent);
+        }
+    }
+    return report;
 }
 
 InodeTables &
@@ -357,6 +461,7 @@ FileTableManager::onBlocksAllocated(sim::Cpu &cpu, fs::Inode &inode,
     if (t->useMirror && t->dramMirror != nullptr)
         t->dramMirror->populate(nullptr, fileBlock, extent,
                                 fs_.blockAddr(0));
+    updateImage(inode, t->table->persistent());
     fs_.stats().inc("daxvm.table_populates");
 }
 
@@ -377,6 +482,7 @@ FileTableManager::onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
     t->table->clearRange(&cpu, fileBlock, extent.count);
     if (t->dramMirror != nullptr)
         t->dramMirror->clearRange(nullptr, fileBlock, extent.count);
+    updateImage(inode, t->table->persistent());
 }
 
 void

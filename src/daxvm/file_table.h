@@ -26,6 +26,7 @@
 #include "fs/file_system.h"
 #include "mem/frame_alloc.h"
 #include "sim/cost_model.h"
+#include "sim/fault.h"
 
 namespace dax::daxvm {
 
@@ -128,6 +129,33 @@ struct InodeTables : public fs::InodePrivate
 };
 
 /**
+ * Durable representation of one persistent file table: the extent
+ * layout it encodes, sealed by a checksum and a generation tag. The
+ * midUpdate flag models the update window - set before a table write
+ * starts, cleared after the seal; a crash inside the window leaves a
+ * torn image that attach-time validation rejects (rebuild fallback).
+ */
+struct PersistentImage
+{
+    std::uint64_t generation = 0;
+    std::uint64_t checksum = 0;
+    bool midUpdate = false;
+    /** (fileBlock, extent) pairs in file order. */
+    std::vector<std::pair<std::uint64_t, fs::Extent>> extents;
+};
+
+/** What FileTableManager::recoverAll() did per persistent table. */
+struct TableRecovery
+{
+    /** Images that validated (checksum + generation intact). */
+    std::uint64_t validated = 0;
+    /** Torn/stale images rebuilt from the inode's extent tree. */
+    std::uint64_t rebuilt = 0;
+    /** Images whose inode did not survive recovery. */
+    std::uint64_t dropped = 0;
+};
+
+/**
  * FileTableManager: the file-system extension maintaining file tables
  * across block (de)allocations, the placement policy, cold-open
  * reconstruction, and storage accounting.
@@ -148,6 +176,25 @@ class FileTableManager : public fs::FsHooks
 
     /** Build a DRAM mirror and serve attachments from it. */
     void migrateToDram(sim::Cpu &cpu, fs::Ino ino);
+
+    /** Observe persistent-table update windows for crash injection. */
+    void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
+    /**
+     * Post-crash attach of every surviving persistent table: validate
+     * its durable image (checksum, generation, not mid-update, layout
+     * matches the recovered extent tree) and re-instantiate the
+     * table; torn or stale images fall back to a rebuild from the
+     * extent tree. Call after FileSystem::recover(). Untimed.
+     */
+    TableRecovery recoverAll();
+
+    /** Durable image of @p ino's table (nullptr when volatile). */
+    const PersistentImage *imageOf(fs::Ino ino) const
+    {
+        auto it = images_.find(ino);
+        return it == images_.end() ? nullptr : &it->second;
+    }
 
     // FsHooks ----------------------------------------------------------
     void onBlocksAllocated(sim::Cpu &cpu, fs::Inode &inode,
@@ -184,6 +231,13 @@ class FileTableManager : public fs::FsHooks
     bool persistentPolicy(const fs::Inode &inode) const;
     void buildFromExtents(sim::Cpu *cpu, fs::Inode &inode,
                           InodeTables &tables);
+    /**
+     * Re-seal @p inode's durable table image after an update (or drop
+     * it when the table is volatile). Fires a TableUpdate fault point
+     * inside the un-sealed window.
+     */
+    void updateImage(const fs::Inode &inode, bool persistent);
+    static std::uint64_t imageChecksum(const PersistentImage &img);
 
     fs::FileSystem &fs_;
     mem::FrameAllocator &dramFrames_;
@@ -191,6 +245,9 @@ class FileTableManager : public fs::FsHooks
     const sim::CostModel &cm_;
     ForceUnmap forceUnmap_ = nullptr;
     void *forceUnmapCtx_ = nullptr;
+    sim::FaultPlan *plan_ = nullptr;
+    /** ino -> durable image of its persistent table. */
+    std::map<fs::Ino, PersistentImage> images_;
 };
 
 } // namespace dax::daxvm

@@ -52,9 +52,25 @@ PrezeroDaemon::zeroExtent(sim::Cpu *cpu, const fs::Extent &extent)
             bytes, std::min(throttle_, cm_.pmemNtStoreBwCore)));
         fs_.device().occupyWrite(cpu->now(), bytes);
     }
+    // Persistence boundary: a crash here loses the release - the
+    // blocks stay out of both pools until the allocator rebuild.
+    if (plan_ != nullptr) {
+        plan_->onEvent(sim::FaultEvent::PrezeroRelease,
+                       cpu != nullptr ? cpu->now() : 0);
+    }
     fs_.allocator().freeZeroed(extent);
     zeroedBlocks_ += extent.count;
     pendingBlocks_ -= extent.count;
+}
+
+std::uint64_t
+PrezeroDaemon::onCrash()
+{
+    const std::uint64_t lost = pendingBlocks_;
+    for (auto &queue : queues_)
+        queue.clear();
+    pendingBlocks_ = 0;
+    return lost;
 }
 
 bool

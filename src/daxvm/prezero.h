@@ -19,6 +19,7 @@
 #include "fs/file_system.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 
 namespace dax::daxvm {
 
@@ -53,6 +54,16 @@ class PrezeroDaemon : public sim::Task, public fs::PrezeroSink
      */
     void drainUntimed();
 
+    /** Observe zeroed-pool releases for crash injection. */
+    void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
+    /**
+     * Power failure: the per-core pending lists are volatile kernel
+     * state - the blocks they reference come back as plain free
+     * blocks via the allocator rebuild. @return blocks forgotten.
+     */
+    std::uint64_t onCrash();
+
     // PrezeroSink -------------------------------------------------------
     bool onFree(int core, sim::Time now, const fs::Extent &extent)
         override;
@@ -74,6 +85,7 @@ class PrezeroDaemon : public sim::Task, public fs::PrezeroSink
     bool enabled_ = true;
     sim::Engine *engine_ = nullptr;
     int threadId_ = -1;
+    sim::FaultPlan *plan_ = nullptr;
     std::vector<std::deque<fs::Extent>> queues_; ///< per-core lists
     unsigned nextQueue_ = 0;
     std::uint64_t pendingBlocks_ = 0;

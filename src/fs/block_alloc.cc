@@ -187,8 +187,10 @@ BlockAllocator::free(const Extent &extent, int core, sim::Time now)
 {
     if (extent.endBlock() > totalBlocks_)
         throw std::invalid_argument("free beyond device");
-    if (sink_ != nullptr && sink_->onFree(core, now, extent))
+    if (sink_ != nullptr && sink_->onFree(core, now, extent)) {
+        divertedBlocks_ += extent.count;
         return; // DaxVM prezero path owns the blocks now
+    }
     insertFree(freeMap_, extent);
     freeBlocks_ += extent.count;
 }
@@ -198,8 +200,150 @@ BlockAllocator::freeZeroed(const Extent &extent)
 {
     if (extent.endBlock() > totalBlocks_)
         throw std::invalid_argument("freeZeroed beyond device");
+    // Saturating: callers may seed the zeroed pool directly (tests).
+    divertedBlocks_ -=
+        divertedBlocks_ < extent.count ? divertedBlocks_ : extent.count;
     insertFree(zeroedMap_, extent);
     zeroedBlocks_ += extent.count;
+}
+
+std::uint64_t
+BlockAllocator::removeRange(std::map<std::uint64_t, std::uint64_t> &map,
+                            std::uint64_t start, std::uint64_t count)
+{
+    const std::uint64_t end = start + count;
+    std::uint64_t removed = 0;
+
+    auto it = map.upper_bound(start);
+    if (it != map.begin())
+        --it;
+    while (it != map.end() && it->first < end) {
+        const std::uint64_t runStart = it->first;
+        const std::uint64_t runEnd = runStart + it->second;
+        if (runEnd <= start) {
+            ++it;
+            continue;
+        }
+        const std::uint64_t cutStart = runStart > start ? runStart : start;
+        const std::uint64_t cutEnd = runEnd < end ? runEnd : end;
+        removed += cutEnd - cutStart;
+        it = map.erase(it);
+        if (runStart < cutStart)
+            map.emplace(runStart, cutStart - runStart);
+        if (cutEnd < runEnd)
+            it = map.emplace(cutEnd, runEnd - cutEnd).first;
+    }
+    return removed;
+}
+
+std::uint64_t
+BlockAllocator::rebuildFrom(const std::vector<Extent> &allocated)
+{
+    freeMap_.clear();
+    freeMap_[0] = totalBlocks_;
+    freeBlocks_ = totalBlocks_;
+    zeroedMap_.clear();
+    zeroedBlocks_ = 0;
+    divertedBlocks_ = 0;
+
+    std::uint64_t conflicts = 0;
+    for (const auto &e : allocated) {
+        if (e.count == 0)
+            continue;
+        if (e.endBlock() > totalBlocks_) {
+            conflicts += e.count;
+            continue;
+        }
+        const std::uint64_t removed = removeRange(freeMap_, e.block, e.count);
+        freeBlocks_ -= removed;
+        conflicts += e.count - removed;
+    }
+    return conflicts;
+}
+
+bool
+BlockAllocator::promoteZeroed(const Extent &extent)
+{
+    if (extent.count == 0)
+        return true;
+    if (extent.endBlock() > totalBlocks_)
+        return false;
+    // Require full coverage by a single free run (the free map is
+    // coalesced, so a fully-free range is always one run).
+    auto it = freeMap_.upper_bound(extent.block);
+    if (it == freeMap_.begin())
+        return false;
+    --it;
+    if (it->first + it->second < extent.endBlock())
+        return false;
+    removeRange(freeMap_, extent.block, extent.count);
+    freeBlocks_ -= extent.count;
+    insertFree(zeroedMap_, extent);
+    zeroedBlocks_ += extent.count;
+    return true;
+}
+
+std::vector<Extent>
+BlockAllocator::zeroedExtents() const
+{
+    std::vector<Extent> out;
+    out.reserve(zeroedMap_.size());
+    for (const auto &[start, len] : zeroedMap_)
+        out.push_back({start, len});
+    return out;
+}
+
+std::vector<std::string>
+BlockAllocator::check() const
+{
+    std::vector<std::string> problems;
+    auto audit = [&](const char *name,
+                     const std::map<std::uint64_t, std::uint64_t> &map,
+                     std::uint64_t counter) {
+        std::uint64_t sum = 0;
+        std::uint64_t prevEnd = 0;
+        bool first = true;
+        for (const auto &[start, len] : map) {
+            if (len == 0)
+                problems.push_back(std::string(name) + ": empty run at "
+                                   + std::to_string(start));
+            if (!first && start <= prevEnd)
+                problems.push_back(std::string(name)
+                                   + ": overlapping/uncoalesced run at "
+                                   + std::to_string(start));
+            if (start + len > totalBlocks_)
+                problems.push_back(std::string(name)
+                                   + ": run past device end at "
+                                   + std::to_string(start));
+            sum += len;
+            prevEnd = start + len;
+            first = false;
+        }
+        if (sum != counter)
+            problems.push_back(std::string(name) + ": counter "
+                               + std::to_string(counter) + " != map sum "
+                               + std::to_string(sum));
+    };
+    audit("freeMap", freeMap_, freeBlocks_);
+    audit("zeroedMap", zeroedMap_, zeroedBlocks_);
+
+    // The pools must be disjoint.
+    for (const auto &[start, len] : zeroedMap_) {
+        auto it = freeMap_.upper_bound(start);
+        if (it != freeMap_.begin()) {
+            auto prev = std::prev(it);
+            if (prev->first + prev->second > start)
+                problems.push_back("zeroed run at " + std::to_string(start)
+                                   + " overlaps free map");
+        }
+        if (it != freeMap_.end() && it->first < start + len)
+            problems.push_back("zeroed run at " + std::to_string(start)
+                               + " overlaps free map");
+    }
+
+    if (freeBlocks_ + zeroedBlocks_ + divertedBlocks_ > totalBlocks_)
+        problems.push_back("free+zeroed+diverted exceeds device size");
+    return problems;
 }
 
 std::uint64_t

@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "fs/extent.h"
@@ -71,6 +72,36 @@ class BlockAllocator
     /** Install (or remove, nullptr) the DaxVM prezero sink. */
     void setPrezeroSink(PrezeroSink *sink) { sink_ = sink; }
 
+    // Crash recovery -----------------------------------------------------
+
+    /**
+     * Rebuild the free map from scratch so that exactly @p allocated
+     * is in use (crash recovery from the durable metadata image).
+     * Clears the zeroed pool and the diverted count: blocks in flight
+     * to the (volatile) prezero daemon are free again after a crash.
+     * @return blocks claimed by more than one extent (0 on a clean
+     *         image; conflicts are left allocated once).
+     */
+    std::uint64_t rebuildFrom(const std::vector<Extent> &allocated);
+
+    /**
+     * Move a fully-free extent into the zeroed pool (recovery re-
+     * admission after its content verified zero). @return false when
+     * any block of the extent is not currently in the free map.
+     */
+    bool promoteZeroed(const Extent &extent);
+
+    /** Current zeroed-pool extents (recovery verification). */
+    std::vector<Extent> zeroedExtents() const;
+
+    /**
+     * Internal consistency check: counters match the maps, maps are
+     * coalesced and in-range, free and zeroed pools are disjoint, and
+     * free + zeroed + diverted + allocated == total.
+     * @return human-readable problems; empty when consistent.
+     */
+    std::vector<std::string> check() const;
+
     /** Physical byte address of @p block. */
     std::uint64_t
     blockAddr(std::uint64_t block) const
@@ -81,6 +112,8 @@ class BlockAllocator
     // Introspection -----------------------------------------------------
     std::uint64_t freeBlocks() const { return freeBlocks_; }
     std::uint64_t zeroedBlocks() const { return zeroedBlocks_; }
+    /** Blocks in flight to the prezero daemon (volatile across crash). */
+    std::uint64_t divertedBlocks() const { return divertedBlocks_; }
     std::uint64_t totalBlocks() const { return totalBlocks_; }
     std::uint64_t freeExtents() const { return freeMap_.size(); }
     std::uint64_t largestFreeExtent() const;
@@ -97,6 +130,10 @@ class BlockAllocator
                               std::uint64_t &pool, bool hugeAligned);
     void insertFree(std::map<std::uint64_t, std::uint64_t> &map,
                     const Extent &extent);
+    /** Remove [start, start+count) from @p map; @return blocks removed. */
+    static std::uint64_t
+    removeRange(std::map<std::uint64_t, std::uint64_t> &map,
+                std::uint64_t start, std::uint64_t count);
 
     std::uint64_t totalBlocks_;
     std::uint64_t baseAddr_;
@@ -106,6 +143,7 @@ class BlockAllocator
     std::map<std::uint64_t, std::uint64_t> zeroedMap_;
     std::uint64_t freeBlocks_ = 0;
     std::uint64_t zeroedBlocks_ = 0;
+    std::uint64_t divertedBlocks_ = 0;
     PrezeroSink *sink_ = nullptr;
 };
 

@@ -19,6 +19,12 @@ FileSystem::FileSystem(Personality personality, mem::Device &pmem,
 {
     if (dataBase % kBlockSize != 0 || dataBytes % kBlockSize != 0)
         throw std::invalid_argument("fs region not block aligned");
+    // Commit snapshots capture the live inode through this resolver
+    // (keeps Journal independent of the inode table's representation).
+    journal_.setResolver([this](Ino ino) -> const Inode * {
+        auto it = inodes_.find(ino);
+        return it == inodes_.end() ? nullptr : it->second.get();
+    });
 }
 
 Ino
@@ -48,8 +54,9 @@ FileSystem::unlink(sim::Cpu &cpu, const std::string &path)
     Inode &node = inode(ino);
     cpu.advance(cm_.openBase);
     freeAll(cpu, node, 0);
-    journal_.markDirty(ino);
-    journal_.commit(cpu, ino);
+    // Unlink commits synchronously: the durable image must stop
+    // claiming the freed blocks before anyone else can commit them.
+    journal_.commitErase(cpu, ino);
     for (auto *h : hooks_)
         h->onInodeEvict(node);
     names_.erase(it);
@@ -344,17 +351,34 @@ FileSystem::ftruncate(sim::Cpu &cpu, Ino ino, std::uint64_t newSize)
     cpu.advance(cm_.syscall);
     const std::uint64_t newBlocks =
         (newSize + kBlockSize - 1) / kBlockSize;
-    if (newBlocks < node.allocatedBlocks())
+    const bool shrunk = newBlocks < node.allocatedBlocks();
+    if (shrunk)
         freeAll(cpu, node, newBlocks);
     node.size = newSize;
     journal_.markDirty(ino);
+    // A freeing truncate commits synchronously (like unlink) so the
+    // durable image never doubly claims the released blocks.
+    if (shrunk)
+        journal_.commit(cpu, ino);
     stats_.inc("fs.truncates");
 }
 
 void
 FileSystem::fsync(sim::Cpu &cpu, Ino ino)
 {
+    Inode &node = inode(ino);
     cpu.advance(cm_.syscall);
+    // Write back dirty cache lines over the file's blocks (data that
+    // arrived through Cached stores, e.g. a non-MAP_SYNC mapping).
+    std::uint64_t lines = 0;
+    for (const auto &[fileBlock, e] : node.extents) {
+        (void)fileBlock;
+        lines += pmem_.flushRange(alloc_.blockAddr(e.block), e.bytes());
+    }
+    if (lines > 0) {
+        cpu.advance(cm_.clwbLine * lines);
+        stats_.inc("fs.fsync_flushed_lines", lines);
+    }
     journal_.commit(cpu, ino);
     stats_.inc("fs.fsyncs");
 }
@@ -386,6 +410,129 @@ FileSystem::removeHooks(FsHooks *hooks)
 {
     hooks_.erase(std::remove(hooks_.begin(), hooks_.end(), hooks),
                  hooks_.end());
+}
+
+RecoveryReport
+FileSystem::recover()
+{
+    RecoveryReport report;
+    report.rolledBack = journal_.dirtyCount();
+
+    // Everything in memory is gone; per-inode private state (DaxVM
+    // tables) is destroyed with the inodes.
+    for (auto &[ino, node] : inodes_) {
+        (void)ino;
+        notifyEvict(*node);
+    }
+    names_.clear();
+    inodes_.clear();
+    journal_.clearDirty();
+
+    // Replay the durable image: each committed record becomes a live
+    // inode again.
+    std::vector<Extent> allocated;
+    Ino maxIno = 0;
+    for (const auto &[ino, rec] : journal_.committedImage()) {
+        auto node = std::make_unique<Inode>();
+        node->ino = ino;
+        node->path = rec.path;
+        node->size = rec.size;
+        node->extents = rec.extents;
+        node->unwritten = rec.unwritten;
+        node->allocatedCount = rec.allocatedCount;
+        for (const auto &[fileBlock, e] : rec.extents) {
+            (void)fileBlock;
+            allocated.push_back(e);
+        }
+        names_.emplace(rec.path, ino);
+        inodes_.emplace(ino, std::move(node));
+        maxIno = std::max(maxIno, ino);
+        report.inodesRestored++;
+    }
+    if (maxIno >= nextIno_)
+        nextIno_ = maxIno + 1;
+
+    // The allocator's free map is derived state: rebuild it so exactly
+    // the committed extents are in use. Blocks that were in flight to
+    // the (volatile) prezero daemon come back as plain free blocks.
+    report.conflictBlocks = alloc_.rebuildFrom(allocated);
+    stats_.inc("fs.recoveries");
+    return report;
+}
+
+std::vector<std::string>
+FileSystem::fsck() const
+{
+    std::vector<std::string> problems = alloc_.check();
+
+    // Namespace <-> inode table.
+    for (const auto &[path, ino] : names_) {
+        auto it = inodes_.find(ino);
+        if (it == inodes_.end())
+            problems.push_back("name '" + path + "' -> missing inode "
+                               + std::to_string(ino));
+        else if (it->second->path != path)
+            problems.push_back("name '" + path + "' -> inode "
+                               + std::to_string(ino)
+                               + " with path '" + it->second->path + "'");
+    }
+    for (const auto &[ino, node] : inodes_) {
+        if (names_.count(node->path) == 0
+            || names_.at(node->path) != ino) {
+            problems.push_back("inode " + std::to_string(ino)
+                               + " not reachable via its path");
+        }
+    }
+
+    // Per-inode extent trees + global double-claim detection.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> claims;
+    for (const auto &[ino, node] : inodes_) {
+        const std::string tag = "inode " + std::to_string(ino);
+        std::uint64_t counted = 0;
+        std::uint64_t prevEnd = 0;
+        bool first = true;
+        for (const auto &[fileBlock, e] : node->extents) {
+            if (e.count == 0)
+                problems.push_back(tag + ": empty extent");
+            if (!first && fileBlock < prevEnd)
+                problems.push_back(tag + ": overlapping file blocks at "
+                                   + std::to_string(fileBlock));
+            if (e.endBlock() > alloc_.totalBlocks())
+                problems.push_back(tag + ": extent past device end");
+            claims.emplace_back(e.block, e.count);
+            counted += e.count;
+            prevEnd = fileBlock + e.count;
+            first = false;
+        }
+        if (counted != node->allocatedCount)
+            problems.push_back(tag + ": allocatedCount "
+                               + std::to_string(node->allocatedCount)
+                               + " != extent sum "
+                               + std::to_string(counted));
+    }
+    std::sort(claims.begin(), claims.end());
+    for (std::size_t i = 1; i < claims.size(); i++) {
+        if (claims[i - 1].first + claims[i - 1].second > claims[i].first)
+            problems.push_back("physical block "
+                               + std::to_string(claims[i].first)
+                               + " claimed twice");
+    }
+
+    // Every claimed block must be absent from the allocator's pools;
+    // the sums must account for the whole device.
+    std::uint64_t claimed = 0;
+    for (const auto &[start, len] : claims) {
+        (void)start;
+        claimed += len;
+    }
+    const std::uint64_t accounted = claimed + alloc_.freeBlocks()
+                                    + alloc_.zeroedBlocks()
+                                    + alloc_.divertedBlocks();
+    if (accounted != alloc_.totalBlocks())
+        problems.push_back("block accounting: " + std::to_string(accounted)
+                           + " != device "
+                           + std::to_string(alloc_.totalBlocks()));
+    return problems;
 }
 
 } // namespace dax::fs

@@ -62,6 +62,17 @@ class FsHooks
     virtual void onInodeEvict(Inode &inode) = 0;
 };
 
+/** What FileSystem::recover() found while replaying the journal. */
+struct RecoveryReport
+{
+    /** Inodes restored from the durable metadata image. */
+    std::uint64_t inodesRestored = 0;
+    /** Blocks claimed by more than one committed extent (corruption). */
+    std::uint64_t conflictBlocks = 0;
+    /** Dirty (uncommitted) inodes rolled back by the crash. */
+    std::uint64_t rolledBack = 0;
+};
+
 class FileSystem
 {
   public:
@@ -129,8 +140,37 @@ class FileSystem
     /** Notify hooks that @p inode is losing its volatile state. */
     void notifyEvict(Inode &inode);
 
-    /** Commit metadata (data is already persistent on DAX writes). */
+    /**
+     * Commit metadata (data is already persistent on DAX writes), after
+     * flushing any dirty cache lines still sitting over the file's
+     * blocks (Cached stores through a non-MAP_SYNC mapping).
+     */
     void fsync(sim::Cpu &cpu, Ino ino);
+
+    // ------------------------------------------------------------------
+    // Crash recovery
+    // ------------------------------------------------------------------
+
+    /**
+     * Post-crash mount: rebuild the namespace, inode table, extent
+     * trees and block allocator from the journal's durable metadata
+     * image. ext4 replays committed jbd2 transactions; NOVA scans the
+     * per-inode logs - both converge to Journal::committedImage().
+     * Uncommitted (dirty) metadata rolls back; inodes created but
+     * never committed vanish. Untimed (mount-time work).
+     *
+     * Callers must tear down volatile mapping state (VM, VFS caches)
+     * first; per-inode private state is destroyed here.
+     */
+    RecoveryReport recover();
+
+    /**
+     * Offline consistency check: extent trees well-formed and in
+     * range, no physical block claimed twice, allocator counters
+     * consistent with its maps, namespace and inode table in sync.
+     * @return human-readable problems; empty when consistent.
+     */
+    std::vector<std::string> fsck() const;
 
     // ------------------------------------------------------------------
     // Mapping support & introspection

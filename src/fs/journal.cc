@@ -1,10 +1,97 @@
 /**
  * @file
- * Journal is header-only; TU kept for symmetry and future non-inline
- * paths (checkpointing, transaction batching experiments).
+ * Journal implementation: commit costs plus the durable metadata
+ * image that FileSystem::recover() replays after a crash.
  */
 #include "fs/journal.h"
 
+#include <vector>
+
 namespace dax::fs {
-// Intentionally empty.
+
+void
+Journal::chargeCommit(sim::Cpu &cpu)
+{
+    // The fault point fires BEFORE the snapshot is captured: a crash
+    // at this commit loses it, every earlier commit survives.
+    if (personality_ == Personality::Ext4Dax) {
+        cpu.advance(cm_.journalCommit);
+        if (plan_ != nullptr)
+            plan_->onEvent(sim::FaultEvent::JournalCommit, cpu.now());
+    } else {
+        cpu.advance(cm_.novaLogCommit);
+        if (plan_ != nullptr)
+            plan_->onEvent(sim::FaultEvent::NovaCommit, cpu.now());
+    }
+    commits_++;
+}
+
+void
+Journal::snapshot(Ino ino)
+{
+    if (!resolver_)
+        return;
+    const Inode *node = resolver_(ino);
+    if (node == nullptr) {
+        committed_.erase(ino);
+        return;
+    }
+    InodeRecord &rec = committed_[ino];
+    rec.path = node->path;
+    rec.size = node->size;
+    rec.extents = node->extents;
+    rec.unwritten = node->unwritten;
+    rec.allocatedCount = node->allocatedCount;
+}
+
+void
+Journal::commit(sim::Cpu &cpu, Ino ino)
+{
+    if (!isDirty(ino))
+        return;
+    if (personality_ == Personality::Ext4Dax) {
+        sim::ScopedLock guard(lock_, cpu);
+        chargeCommit(cpu);
+    } else {
+        chargeCommit(cpu);
+    }
+    snapshot(ino);
+    dirty_.erase(ino);
+}
+
+void
+Journal::commitErase(sim::Cpu &cpu, Ino ino)
+{
+    if (personality_ == Personality::Ext4Dax) {
+        sim::ScopedLock guard(lock_, cpu);
+        chargeCommit(cpu);
+    } else {
+        chargeCommit(cpu);
+    }
+    committed_.erase(ino);
+    dirty_.erase(ino);
+}
+
+void
+Journal::commitAll(sim::Cpu &cpu)
+{
+    if (dirty_.empty())
+        return;
+    const std::vector<Ino> batch(dirty_.begin(), dirty_.end());
+    if (personality_ == Personality::Ext4Dax) {
+        // jbd2 group commit: the whole batch rides one transaction.
+        sim::ScopedLock guard(lock_, cpu);
+        chargeCommit(cpu);
+        for (const Ino ino : batch)
+            snapshot(ino);
+        batchedInodes_ += batch.size();
+    } else {
+        for (const Ino ino : batch) {
+            chargeCommit(cpu);
+            snapshot(ino);
+        }
+    }
+    dirty_.clear();
+}
+
 } // namespace dax::fs

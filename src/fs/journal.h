@@ -8,21 +8,42 @@
  * serialized journal transaction (MAP_SYNC first-write faults trigger
  * it synchronously); on NOVA, metadata updates commit in place with a
  * cheap log append, making MAP_SYNC effectively free.
+ *
+ * The journal is also the *durable metadata image*: each commit
+ * captures a snapshot of the inode's metadata (path, size, extent
+ * tree, unwritten set). After a power failure, FileSystem::recover()
+ * replays this image - committed transactions survive, uncommitted
+ * in-memory changes roll back, inodes created but never committed
+ * vanish. ext4 replays the journal; NOVA scans per-inode logs; both
+ * converge to the same committed image, they differ in commit cost.
  */
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <set>
 
 #include "fs/inode.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/locks.h"
 #include "sim/stats.h"
 
 namespace dax::fs {
 
 enum class Personality { Ext4Dax, Nova };
+
+/** Durable (committed) metadata of one inode. */
+struct InodeRecord
+{
+    std::string path;
+    std::uint64_t size = 0;
+    std::map<std::uint64_t, Extent> extents;
+    IntervalMap unwritten;
+    std::uint64_t allocatedCount = 0;
+};
 
 class Journal
 {
@@ -33,6 +54,20 @@ class Journal
 
     Personality personality() const { return personality_; }
 
+    /**
+     * Install the inode resolver used to capture commit snapshots
+     * (FileSystem wires this at construction). Without a resolver the
+     * journal degrades to cost-only commits (no durable image).
+     */
+    using Resolver = std::function<const Inode *(Ino)>;
+    void setResolver(Resolver resolver)
+    {
+        resolver_ = std::move(resolver);
+    }
+
+    /** Observe commit boundaries for crash injection (may be null). */
+    void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
     /** Record that @p ino has uncommitted metadata. */
     void markDirty(Ino ino) { dirty_.insert(ino); }
 
@@ -41,41 +76,58 @@ class Journal
     /**
      * Commit @p ino's metadata. ext4: serialized jbd2 transaction
      * (expensive); NOVA: cheap in-place log append. No-op when clean.
+     * The committed snapshot becomes part of the durable image.
      */
-    void
-    commit(sim::Cpu &cpu, Ino ino)
+    void commit(sim::Cpu &cpu, Ino ino);
+
+    /**
+     * Commit the removal of @p ino (unlink): charges a transaction
+     * and erases the inode from the durable image.
+     */
+    void commitErase(sim::Cpu &cpu, Ino ino);
+
+    /**
+     * Commit everything (unmount / global sync). On ext4 the dirty
+     * inodes batch into a single jbd2 transaction (group commit: one
+     * journalCommit charge for N inodes); NOVA appends per-inode log
+     * entries as usual.
+     */
+    void commitAll(sim::Cpu &cpu);
+
+    // Recovery ----------------------------------------------------------
+
+    /** The durable image: ino -> last committed metadata. */
+    const std::map<Ino, InodeRecord> &committedImage() const
     {
-        if (!isDirty(ino))
-            return;
-        if (personality_ == Personality::Ext4Dax) {
-            sim::ScopedLock guard(lock_, cpu);
-            cpu.advance(cm_.journalCommit);
-            commits_++;
-        } else {
-            cpu.advance(cm_.novaLogCommit);
-            commits_++;
-        }
-        dirty_.erase(ino);
+        return committed_;
     }
 
-    /** Commit everything (unmount / global sync). */
-    void
-    commitAll(sim::Cpu &cpu)
-    {
-        while (!dirty_.empty())
-            commit(cpu, *dirty_.begin());
-    }
+    /** Forget dirty state after a crash (nothing is dirty on mount). */
+    void clearDirty() { dirty_.clear(); }
 
+    // Introspection -----------------------------------------------------
+
+    /** Committed transactions (a group commit counts once). */
     std::uint64_t commits() const { return commits_; }
+    /** Inodes committed through group commits (batching stat). */
+    std::uint64_t batchedInodes() const { return batchedInodes_; }
     std::size_t dirtyCount() const { return dirty_.size(); }
     const sim::Mutex &lock() const { return lock_; }
 
   private:
+    /** Charge one commit and fire the matching fault event. */
+    void chargeCommit(sim::Cpu &cpu);
+    void snapshot(Ino ino);
+
     Personality personality_;
     const sim::CostModel &cm_;
     sim::Mutex lock_;
+    Resolver resolver_;
+    sim::FaultPlan *plan_ = nullptr;
     std::set<Ino> dirty_;
+    std::map<Ino, InodeRecord> committed_;
     std::uint64_t commits_ = 0;
+    std::uint64_t batchedInodes_ = 0;
 };
 
 } // namespace dax::fs

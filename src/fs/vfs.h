@@ -48,6 +48,16 @@ class Vfs
     /** Drop every unpinned inode (e.g. memory-pressure simulation). */
     void dropCaches();
 
+    /**
+     * Crash: the cache is volatile DRAM state - forget it without
+     * evict notifications (the inodes themselves are being rebuilt).
+     */
+    void reset()
+    {
+        lru_.clear();
+        cache_.clear();
+    }
+
     FileSystem &fs() { return fs_; }
 
   private:

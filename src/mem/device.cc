@@ -178,38 +178,52 @@ Device::loadLatency() const
 }
 
 void
+Device::fireEvent(sim::FaultEvent ev, std::uint64_t bytes)
+{
+    // Only PMem persistence boundaries are interesting, and word-sized
+    // durable stores (atomic PTE updates) are covered at the
+    // file-table layer instead - see setFaultPlan().
+    if (plan_ == nullptr || kind_ != Kind::Pmem || bytes < kCacheLine)
+        return;
+    plan_->onEvent(ev, /*now=*/0);
+}
+
+void
 Device::fetch(Paddr addr, void *dst, std::uint64_t bytes) const
 {
     checkRange(addr, bytes);
     switch (backing_) {
       case Backing::Full:
         std::memcpy(dst, data_.data() + addr, bytes);
-        return;
+        break;
       case Backing::None:
         std::memset(dst, 0, bytes);
         return;
-      case Backing::Sparse:
+      case Backing::Sparse: {
+        auto *out = static_cast<std::uint8_t *>(dst);
+        std::uint64_t done = 0;
+        while (done < bytes) {
+            const Paddr a = addr + done;
+            const std::uint64_t inPage = a % kPageSize;
+            const std::uint64_t chunk =
+                std::min(bytes - done, kPageSize - inPage);
+            if (const std::uint8_t *page = sparsePage(a))
+                std::memcpy(out + done, page + inPage, chunk);
+            else
+                std::memset(out + done, 0, chunk);
+            done += chunk;
+        }
         break;
+      }
     }
-    auto *out = static_cast<std::uint8_t *>(dst);
-    std::uint64_t done = 0;
-    while (done < bytes) {
-        const Paddr a = addr + done;
-        const std::uint64_t inPage = a % kPageSize;
-        const std::uint64_t chunk =
-            std::min(bytes - done, kPageSize - inPage);
-        if (const std::uint8_t *page = sparsePage(a))
-            std::memcpy(out + done, page + inPage, chunk);
-        else
-            std::memset(out + done, 0, chunk);
-        done += chunk;
-    }
+    // CPU loads are coherent with the cache: overlay dirty lines.
+    if (!dirtyLines_.empty())
+        mergeVolatile(addr, dst, bytes);
 }
 
 void
-Device::store(Paddr addr, const void *src, std::uint64_t bytes)
+Device::storeDurable(Paddr addr, const void *src, std::uint64_t bytes)
 {
-    checkRange(addr, bytes);
     switch (backing_) {
       case Backing::Full:
         std::memcpy(data_.data() + addr, src, bytes);
@@ -232,31 +246,178 @@ Device::store(Paddr addr, const void *src, std::uint64_t bytes)
 }
 
 void
-Device::zero(Paddr addr, std::uint64_t bytes)
+Device::storeVolatile(Paddr addr, const void *src, std::uint64_t bytes)
 {
-    checkRange(addr, bytes);
-    switch (backing_) {
-      case Backing::Full:
-        std::memset(data_.data() + addr, 0, bytes);
-        return;
-      case Backing::None:
-        return;
-      case Backing::Sparse:
-        break;
-    }
+    const auto *in = static_cast<const std::uint8_t *>(src);
     std::uint64_t done = 0;
     while (done < bytes) {
         const Paddr a = addr + done;
-        const std::uint64_t inPage = a % kPageSize;
+        const std::uint64_t inLine = a % kCacheLine;
         const std::uint64_t chunk =
-            std::min(bytes - done, kPageSize - inPage);
-        if (inPage == 0 && chunk == kPageSize) {
-            sparse_.erase(a / kPageSize); // whole page back to zero
-        } else if (sparsePage(a) != nullptr) {
-            std::memset(sparsePageForWrite(a) + inPage, 0, chunk);
+            std::min(bytes - done, kCacheLine - inLine);
+        DirtyLine &dl = dirtyLines_[a / kCacheLine];
+        std::memcpy(dl.data.data() + inLine, in + done, chunk);
+        for (std::uint64_t i = 0; i < chunk; i++)
+            dl.mask |= 1ULL << (inLine + i);
+        done += chunk;
+    }
+}
+
+void
+Device::invalidateVolatile(Paddr addr, std::uint64_t bytes)
+{
+    if (dirtyLines_.empty())
+        return;
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const Paddr a = addr + done;
+        const std::uint64_t inLine = a % kCacheLine;
+        const std::uint64_t chunk =
+            std::min(bytes - done, kCacheLine - inLine);
+        auto it = dirtyLines_.find(a / kCacheLine);
+        if (it != dirtyLines_.end()) {
+            for (std::uint64_t i = 0; i < chunk; i++)
+                it->second.mask &= ~(1ULL << (inLine + i));
+            if (it->second.mask == 0)
+                dirtyLines_.erase(it);
         }
         done += chunk;
     }
+}
+
+void
+Device::mergeVolatile(Paddr addr, void *dst, std::uint64_t bytes) const
+{
+    auto *out = static_cast<std::uint8_t *>(dst);
+    std::uint64_t done = 0;
+    while (done < bytes) {
+        const Paddr a = addr + done;
+        const std::uint64_t inLine = a % kCacheLine;
+        const std::uint64_t chunk =
+            std::min(bytes - done, kCacheLine - inLine);
+        auto it = dirtyLines_.find(a / kCacheLine);
+        if (it != dirtyLines_.end()) {
+            const DirtyLine &dl = it->second;
+            for (std::uint64_t i = 0; i < chunk; i++) {
+                if (dl.mask & (1ULL << (inLine + i)))
+                    out[done + i] = dl.data[inLine + i];
+            }
+        }
+        done += chunk;
+    }
+}
+
+void
+Device::store(Paddr addr, const void *src, std::uint64_t bytes,
+              WriteMode mode)
+{
+    checkRange(addr, bytes);
+    if (backing_ == Backing::None)
+        return;
+    // Only PMem has persistence semantics worth modeling: DRAM content
+    // is volatile regardless, so its cached stores land directly.
+    if (mode == WriteMode::Cached && kind_ == Kind::Pmem) {
+        storeVolatile(addr, src, bytes);
+        return;
+    }
+    fireEvent(sim::FaultEvent::DurableStore, bytes);
+    storeDurable(addr, src, bytes);
+    // ntstore invalidates the cached lines; clwb writes them back -
+    // either way the covered bytes stop being volatile.
+    invalidateVolatile(addr, bytes);
+}
+
+void
+Device::zero(Paddr addr, std::uint64_t bytes)
+{
+    checkRange(addr, bytes);
+    if (backing_ == Backing::None)
+        return;
+    fireEvent(sim::FaultEvent::DurableStore, bytes);
+    if (backing_ == Backing::Full) {
+        std::memset(data_.data() + addr, 0, bytes);
+    } else {
+        std::uint64_t done = 0;
+        while (done < bytes) {
+            const Paddr a = addr + done;
+            const std::uint64_t inPage = a % kPageSize;
+            const std::uint64_t chunk =
+                std::min(bytes - done, kPageSize - inPage);
+            if (inPage == 0 && chunk == kPageSize) {
+                sparse_.erase(a / kPageSize); // whole page back to zero
+            } else if (sparsePage(a) != nullptr) {
+                std::memset(sparsePageForWrite(a) + inPage, 0, chunk);
+            }
+            done += chunk;
+        }
+    }
+    invalidateVolatile(addr, bytes);
+}
+
+void
+Device::writeBackLine(std::uint64_t line, const DirtyLine &dl)
+{
+    const Paddr base = line * kCacheLine;
+    for (std::uint64_t i = 0; i < kCacheLine; i++) {
+        if (dl.mask & (1ULL << i))
+            storeDurable(base + i, &dl.data[i], 1);
+    }
+}
+
+std::uint64_t
+Device::flushRange(Paddr addr, std::uint64_t bytes)
+{
+    checkRange(addr, bytes);
+    if (dirtyLines_.empty() || bytes == 0)
+        return 0;
+    const std::uint64_t firstLine = addr / kCacheLine;
+    const std::uint64_t lastLine = (addr + bytes - 1) / kCacheLine;
+    // Collect first so the fault point fires before any write-back:
+    // a crash at this flush loses the whole range.
+    std::vector<std::uint64_t> lines;
+    if (lastLine - firstLine + 1 < dirtyLines_.size()) {
+        for (std::uint64_t l = firstLine; l <= lastLine; l++) {
+            if (dirtyLines_.count(l) != 0)
+                lines.push_back(l);
+        }
+    } else {
+        for (const auto &[l, dl] : dirtyLines_) {
+            (void)dl;
+            if (l >= firstLine && l <= lastLine)
+                lines.push_back(l);
+        }
+    }
+    if (lines.empty())
+        return 0;
+    fireEvent(sim::FaultEvent::Flush, kCacheLine * lines.size());
+    for (const std::uint64_t l : lines) {
+        auto it = dirtyLines_.find(l);
+        writeBackLine(l, it->second);
+        dirtyLines_.erase(it);
+    }
+    return lines.size();
+}
+
+std::uint64_t
+Device::drain()
+{
+    if (dirtyLines_.empty())
+        return 0;
+    fireEvent(sim::FaultEvent::Drain,
+              kCacheLine * dirtyLines_.size());
+    const std::uint64_t n = dirtyLines_.size();
+    for (const auto &[line, dl] : dirtyLines_)
+        writeBackLine(line, dl);
+    dirtyLines_.clear();
+    return n;
+}
+
+std::uint64_t
+Device::crash()
+{
+    const std::uint64_t lost = dirtyLines_.size();
+    dirtyLines_.clear();
+    return lost;
 }
 
 std::uint64_t
@@ -277,6 +438,29 @@ bool
 Device::isZero(Paddr addr, std::uint64_t bytes) const
 {
     checkRange(addr, bytes);
+    if (!dirtyLines_.empty() && bytes > 0) {
+        // Cached dirty bytes shadow the durable store; when any line
+        // overlaps the range, scan through the merged view.
+        const std::uint64_t firstLine = addr / kCacheLine;
+        const std::uint64_t lastLine = (addr + bytes - 1) / kCacheLine;
+        for (std::uint64_t l = firstLine; l <= lastLine; l++) {
+            if (dirtyLines_.count(l) == 0)
+                continue;
+            std::array<std::uint8_t, kPageSize> buf;
+            std::uint64_t done = 0;
+            while (done < bytes) {
+                const std::uint64_t chunk =
+                    std::min<std::uint64_t>(bytes - done, buf.size());
+                fetch(addr + done, buf.data(), chunk);
+                for (std::uint64_t i = 0; i < chunk; i++) {
+                    if (buf[i] != 0)
+                        return false;
+                }
+                done += chunk;
+            }
+            return true;
+        }
+    }
     switch (backing_) {
       case Backing::None:
         return true;

@@ -10,9 +10,17 @@
  * PMem asymmetries that the paper's results depend on are first class:
  * read bandwidth >> write bandwidth, ntstore ~2x the effective
  * bandwidth of store+clwb, and load latency ~3.5x DRAM.
+ *
+ * Persistence domains are *functional*, not timing-only: a Cached
+ * store lands in a volatile cache-line overlay that crash() discards;
+ * NtStore/CachedFlush stores (and flushRange()/drain()) move bytes to
+ * the durable byte store. Reads see the overlay (caches are coherent
+ * with the CPU), so only a power failure exposes the difference -
+ * which is exactly what the crash-sweep harness verifies.
  */
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <cstring>
 #include <memory>
@@ -22,6 +30,7 @@
 
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "sim/resource.h"
 #include "sim/time.h"
 
@@ -106,13 +115,22 @@ class Device
     // Functional byte store
     // ------------------------------------------------------------------
 
-    /** Copy bytes out of the device (no timing). */
+    /** Copy bytes out of the device (no timing; sees cached lines). */
     void fetch(Paddr addr, void *dst, std::uint64_t bytes) const;
 
-    /** Copy bytes into the device (no timing). */
-    void store(Paddr addr, const void *src, std::uint64_t bytes);
+    /**
+     * Copy bytes into the device (no timing; pair with write()).
+     * @p mode decides the persistence domain: Cached stores stay in
+     * the volatile line overlay until flushed; NtStore/CachedFlush
+     * stores are durable when the call returns.
+     */
+    void store(Paddr addr, const void *src, std::uint64_t bytes,
+               WriteMode mode = WriteMode::NtStore);
 
-    /** Zero a range (no timing; pair with write()/occupyWrite()). */
+    /**
+     * Zero a range durably (no timing; pair with write()/
+     * occupyWrite()). Also invalidates cached lines in the range.
+     */
     void zero(Paddr addr, std::uint64_t bytes);
 
     /** Read a 64-bit word (page-table entries). */
@@ -124,6 +142,41 @@ class Device
     /** True when the whole range is zero (security invariant tests). */
     bool isZero(Paddr addr, std::uint64_t bytes) const;
 
+    // ------------------------------------------------------------------
+    // Persistence domain (power-fail semantics)
+    // ------------------------------------------------------------------
+
+    /**
+     * clwb+sfence the cache lines overlapping [addr, addr+bytes):
+     * every dirty line intersecting the range becomes durable.
+     * @return number of dirty lines written back.
+     */
+    std::uint64_t flushRange(Paddr addr, std::uint64_t bytes);
+
+    /**
+     * Global drain (sfence of everything outstanding): all dirty
+     * lines become durable. @return lines written back.
+     */
+    std::uint64_t drain();
+
+    /**
+     * Power failure: discard every volatile (dirty-but-unflushed)
+     * line. Durable bytes are untouched. @return lines lost.
+     */
+    std::uint64_t crash();
+
+    /** Dirty-but-unflushed cache lines currently held. */
+    std::uint64_t volatileLines() const { return dirtyLines_.size(); }
+
+    /**
+     * Install a fault plan observing this device's persistence
+     * boundaries (nullptr to remove). Only PMem devices fire events;
+     * DRAM has no persistence to lose. Word-sized durable stores
+     * (page-table entries) do not fire - their persistence boundaries
+     * are modeled at the file-table layer (FaultEvent::TableUpdate).
+     */
+    void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
     // Channel statistics ------------------------------------------------
     const sim::Resource &readChannel() const { return readRes_; }
     const sim::Resource &writeChannel() const { return writeRes_; }
@@ -132,11 +185,31 @@ class Device
     std::uint64_t sparsePages() const { return sparse_.size(); }
 
   private:
+    /** One dirty cache line; @p mask has bit i set when byte i is
+     *  cached-dirty (unmasked bytes read from the durable store). */
+    struct DirtyLine
+    {
+        std::array<std::uint8_t, kCacheLine> data;
+        std::uint64_t mask = 0;
+    };
+
     void checkRange(Paddr addr, std::uint64_t bytes) const;
     /** Sparse page for @p addr; nullptr when never written. */
     const std::uint8_t *sparsePage(Paddr addr) const;
     /** Sparse page for @p addr, materializing it. */
     std::uint8_t *sparsePageForWrite(Paddr addr);
+
+    /** Durable byte store write (no persistence bookkeeping). */
+    void storeDurable(Paddr addr, const void *src, std::uint64_t bytes);
+    /** Record a Cached store in the volatile overlay. */
+    void storeVolatile(Paddr addr, const void *src, std::uint64_t bytes);
+    /** Drop overlay bytes in range (nt-store/zero invalidation). */
+    void invalidateVolatile(Paddr addr, std::uint64_t bytes);
+    /** Overlay any dirty bytes in range onto @p dst. */
+    void mergeVolatile(Paddr addr, void *dst, std::uint64_t bytes) const;
+    /** Write one dirty line's masked bytes to the durable store. */
+    void writeBackLine(std::uint64_t line, const DirtyLine &dl);
+    void fireEvent(sim::FaultEvent ev, std::uint64_t bytes);
 
     Kind kind_;
     std::uint64_t capacity_;
@@ -145,6 +218,9 @@ class Device
     std::vector<std::uint8_t> data_; // Full backing
     std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
         sparse_; // page index -> 4 KB host page
+    /** Volatile overlay: cache-line index -> dirty line. */
+    std::unordered_map<std::uint64_t, DirtyLine> dirtyLines_;
+    sim::FaultPlan *plan_ = nullptr;
     sim::Resource readRes_;
     sim::Resource writeRes_;
 };

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FaultPlan implementation.
+ */
+#include "sim/fault.h"
+
+#include "sim/rng.h"
+
+namespace dax::sim {
+
+const char *
+faultEventName(FaultEvent ev)
+{
+    switch (ev) {
+      case FaultEvent::DurableStore:
+        return "durable-store";
+      case FaultEvent::Flush:
+        return "flush";
+      case FaultEvent::Drain:
+        return "drain";
+      case FaultEvent::JournalCommit:
+        return "journal-commit";
+      case FaultEvent::NovaCommit:
+        return "nova-commit";
+      case FaultEvent::TableUpdate:
+        return "table-update";
+      case FaultEvent::PrezeroRelease:
+        return "prezero-release";
+      case FaultEvent::kCount_:
+        break;
+    }
+    return "?";
+}
+
+FaultPlan
+FaultPlan::randomIndex(std::uint64_t seed, std::uint64_t totalEvents)
+{
+    Rng rng(seed);
+    return atIndex(totalEvents == 0 ? 0 : rng.below(totalEvents));
+}
+
+void
+FaultPlan::onEvent(FaultEvent ev, Time now)
+{
+    const std::uint64_t index = seen_++;
+    const std::uint64_t kindIndex =
+        perKind_[static_cast<int>(ev)]++;
+    if (fired_)
+        return;
+
+    bool crash = false;
+    if (targetIndex_ && index == *targetIndex_)
+        crash = true;
+    if (targetKind_ && ev == *targetKind_
+        && kindIndex == targetKindIndex_)
+        crash = true;
+    if (targetTime_ && now >= *targetTime_)
+        crash = true;
+    if (!crash)
+        return;
+    fired_ = true;
+    throw CrashException(ev, index, now);
+}
+
+} // namespace dax::sim

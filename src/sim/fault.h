@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Power-failure fault injection.
+ *
+ * The simulation's persistence model (mem::Device volatile cache-line
+ * overlay, fs::Journal durable metadata image, DaxVM persistent file
+ * tables) only becomes testable when crashes can actually happen. A
+ * FaultPlan is installed on a System and observes every
+ * *persistence-boundary event* - a point in virtual time at which some
+ * state is about to become durable:
+ *
+ *   DurableStore    ntstore/clwb'ed data about to reach the medium
+ *   Flush           clwb of a dirty cache-line range (msync/fsync)
+ *   Drain           an explicit sfence/drain of all dirty lines
+ *   JournalCommit   an ext4 jbd2 transaction about to commit
+ *   NovaCommit      a NOVA per-inode log append about to commit
+ *   TableUpdate     a persistent DaxVM file table mid-update
+ *   PrezeroRelease  a zeroed extent about to enter the zeroed pool
+ *
+ * Events fire *before* the durable mutation is applied, so a crash at
+ * event k means exactly: everything made durable by events < k
+ * survives, the mutation of event k (and all volatile state) is lost.
+ * That convention is what lets the crash-sweep harness enumerate every
+ * reachable post-crash state of a run.
+ *
+ * The plan fires by throwing CrashException; the driving harness
+ * catches it, calls sys::System::crash() + recover() and verifies
+ * invariants. Plans are deterministic: a counting pass measures the
+ * number of boundary events of a seeded run, after which the harness
+ * sweeps indices (or draws one with sim::Rng) and replays.
+ */
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <optional>
+
+#include "sim/time.h"
+
+namespace dax::sim {
+
+enum class FaultEvent
+{
+    DurableStore,
+    Flush,
+    Drain,
+    JournalCommit,
+    NovaCommit,
+    TableUpdate,
+    PrezeroRelease,
+    kCount_,
+};
+
+/** Human-readable event name (tracing, sweep reports). */
+const char *faultEventName(FaultEvent ev);
+
+/** Thrown by FaultPlan when the planned crash point is reached. */
+class CrashException : public std::exception
+{
+  public:
+    CrashException(FaultEvent event, std::uint64_t index, Time at)
+        : event_(event), index_(index), at_(at)
+    {}
+
+    const char *what() const noexcept override
+    {
+        return "simulated power failure";
+    }
+
+    FaultEvent event() const { return event_; }
+    /** Global boundary-event index the crash fired at. */
+    std::uint64_t index() const { return index_; }
+    /** Virtual time of the crash. */
+    Time at() const { return at_; }
+
+  private:
+    FaultEvent event_;
+    std::uint64_t index_;
+    Time at_;
+};
+
+class FaultPlan
+{
+  public:
+    /** Counting-only plan: observes events, never crashes. */
+    FaultPlan() = default;
+
+    /** Crash when the @p index'th boundary event (0-based) fires. */
+    static FaultPlan
+    atIndex(std::uint64_t index)
+    {
+        FaultPlan p;
+        p.targetIndex_ = index;
+        return p;
+    }
+
+    /** Crash at the @p n'th event of @p kind (0-based). */
+    static FaultPlan
+    atKind(FaultEvent kind, std::uint64_t n)
+    {
+        FaultPlan p;
+        p.targetKind_ = kind;
+        p.targetKindIndex_ = n;
+        return p;
+    }
+
+    /**
+     * Crash at the first boundary event at/after virtual time @p t.
+     * Events fired from untimed functional paths carry time 0 and
+     * never trigger time plans; index plans are exact everywhere and
+     * are what the exhaustive sweep uses.
+     */
+    static FaultPlan
+    atTime(Time t)
+    {
+        FaultPlan p;
+        p.targetTime_ = t;
+        return p;
+    }
+
+    /**
+     * Crash at a pseudo-random event index in [0, totalEvents), drawn
+     * deterministically from @p seed (sim::Rng). @p totalEvents comes
+     * from a prior counting pass.
+     */
+    static FaultPlan randomIndex(std::uint64_t seed,
+                                 std::uint64_t totalEvents);
+
+    /**
+     * Observe one persistence-boundary event; throws CrashException
+     * when this is the planned crash point. Instrumented components
+     * call this immediately BEFORE applying the durable mutation.
+     */
+    void onEvent(FaultEvent ev, Time now);
+
+    /** Total boundary events observed so far. */
+    std::uint64_t eventsSeen() const { return seen_; }
+
+    /** Events of one kind observed so far. */
+    std::uint64_t
+    eventsSeen(FaultEvent ev) const
+    {
+        return perKind_[static_cast<int>(ev)];
+    }
+
+    /** True once the plan has crashed (it will not fire again). */
+    bool fired() const { return fired_; }
+
+    /** True when this plan can crash (not a counting-only plan). */
+    bool
+    armed() const
+    {
+        return targetIndex_ || targetKind_ || targetTime_;
+    }
+
+  private:
+    std::uint64_t seen_ = 0;
+    std::uint64_t perKind_[static_cast<int>(FaultEvent::kCount_)] = {};
+    bool fired_ = false;
+
+    std::optional<std::uint64_t> targetIndex_;
+    std::optional<FaultEvent> targetKind_;
+    std::uint64_t targetKindIndex_ = 0;
+    std::optional<Time> targetTime_;
+};
+
+} // namespace dax::sim

@@ -117,6 +117,9 @@ System::makeFile(const std::string &path, std::uint64_t bytes,
             off += chunk;
         }
     }
+    // Setup files are part of the pre-crash durable image: commit
+    // their metadata (untimed) so they survive a power failure.
+    fs_.journal().commit(scratch, ino);
     return ino;
 }
 
@@ -140,6 +143,57 @@ void
 System::remount()
 {
     vfs_.dropCaches();
+}
+
+void
+System::setFaultPlan(sim::FaultPlan *plan)
+{
+    pmem_.setFaultPlan(plan);
+    fs_.journal().setFaultPlan(plan);
+    if (ftm_ != nullptr)
+        ftm_->setFaultPlan(plan);
+    if (prezero_ != nullptr)
+        prezero_->setFaultPlan(plan);
+}
+
+CrashReport
+System::crash()
+{
+    CrashReport report;
+    // The zeroed pool's *blocks* are durable (zeroes on the medium)
+    // but the pool membership is volatile: snapshot it so recover()
+    // can re-verify and readmit.
+    preCrashZeroed_ = fs_.allocator().zeroedExtents();
+    report.dirtyLinesLost = pmem_.crash();
+    dram_.crash();
+    if (prezero_ != nullptr)
+        report.prezeroPendingLost = prezero_->onCrash();
+    // Kernel DRAM state dies with the power.
+    vmm_->resetVolatile();
+    vfs_.reset();
+    return report;
+}
+
+RecoverReport
+System::recover()
+{
+    RecoverReport report;
+    report.fs = fs_.recover();
+    if (ftm_ != nullptr)
+        report.tables = ftm_->recoverAll();
+    // Re-admit pre-crash zeroed extents only after re-verifying the
+    // invariant against the durable medium: every block must still be
+    // zero AND free under the recovered metadata.
+    for (const auto &e : preCrashZeroed_) {
+        if (pmem_.isZero(fs_.blockAddr(e.block), e.bytes())
+            && fs_.allocator().promoteZeroed(e)) {
+            report.zeroedReadmitted += e.count;
+        } else {
+            report.zeroedDemoted += e.count;
+        }
+    }
+    preCrashZeroed_.clear();
+    return report;
 }
 
 sim::Time

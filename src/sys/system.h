@@ -26,6 +26,7 @@
 #include "mem/frame_alloc.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 #include "vm/address_space.h"
 #include "vm/manager.h"
 
@@ -50,6 +51,26 @@ struct SystemConfig
     /** VFS inode cache capacity (0 = unlimited). */
     std::size_t inodeCacheCapacity = 1 << 16;
     sim::CostModel cm;
+};
+
+/** Volatile state discarded by System::crash(). */
+struct CrashReport
+{
+    /** Dirty (unflushed) PMem cache lines lost. */
+    std::uint64_t dirtyLinesLost = 0;
+    /** Blocks forgotten from the prezero daemon's pending lists. */
+    std::uint64_t prezeroPendingLost = 0;
+};
+
+/** Combined result of System::recover(). */
+struct RecoverReport
+{
+    fs::RecoveryReport fs;
+    daxvm::TableRecovery tables;
+    /** Pre-crash zeroed-pool blocks that re-verified zero. */
+    std::uint64_t zeroedReadmitted = 0;
+    /** Pre-crash zeroed-pool blocks demoted to plain free. */
+    std::uint64_t zeroedDemoted = 0;
 };
 
 class System
@@ -100,10 +121,37 @@ class System
     fs::AgingReport age(const fs::AgingConfig &config);
 
     /**
-     * Simulate a reboot/remount: drops the inode cache (volatile file
-     * tables die; persistent ones survive in PMem).
+     * Simulate a clean reboot/remount: drops the inode cache (volatile
+     * file tables die; persistent ones survive in PMem). Assumes all
+     * metadata was committed - use crash()/recover() to model a power
+     * failure with uncommitted state.
      */
     void remount();
+
+    /**
+     * Install @p plan on every persistence-boundary observer (PMem
+     * device, journal, DaxVM tables, prezero daemon). Pass nullptr to
+     * detach. The plan must outlive the System or be detached first.
+     */
+    void setFaultPlan(sim::FaultPlan *plan);
+
+    /**
+     * Simulated power failure: volatile state dies NOW. Dirty cache
+     * lines never written back are discarded, the prezero pending
+     * lists vanish, kernel caches (VFS, reverse mappings, dirty tags)
+     * are forgotten. Durable PMem state is untouched. Any surviving
+     * AddressSpace objects must be discarded by the caller (their
+     * processes died with the machine).
+     */
+    CrashReport crash();
+
+    /**
+     * Post-crash mount: replay the journal's durable metadata image
+     * (FileSystem::recover), validate-or-rebuild persistent DaxVM
+     * file tables, and re-verify the pre-crash zeroed pool against
+     * the durable medium before readmitting it.
+     */
+    RecoverReport recover();
 
     /** Deterministic fill pattern byte for position @p i of @p ino. */
     static std::uint8_t patternByte(fs::Ino ino, std::uint64_t i);
@@ -132,6 +180,8 @@ class System
     std::unique_ptr<daxvm::DaxVm> dax_;
     std::unique_ptr<daxvm::PrezeroDaemon> prezero_;
     std::unique_ptr<latr::Latr> latr_;
+    /** Zeroed-pool snapshot taken at crash() for recover()'s re-check. */
+    std::vector<fs::Extent> preCrashZeroed_;
 };
 
 } // namespace dax::sys

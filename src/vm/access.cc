@@ -106,9 +106,11 @@ AddressSpace::memWrite(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
         const mem::Pattern p = first ? pattern : mem::Pattern::Seq;
         dev.write(cpu, r.paddr, chunk, mode, p);
         if (src != nullptr) {
+            // The write mode decides the persistence domain: Cached
+            // stores sit in the (volatile) cache until flushed.
             dev.store(r.paddr,
                       static_cast<const std::uint8_t *>(src) + done,
-                      chunk);
+                      chunk, mode);
         }
         first = false;
         done += chunk;

@@ -140,6 +140,9 @@ VmManager::syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
             fs_.device().write(cpu, fs_.blockAddr(extent.block),
                                extent.bytes(), mem::WriteMode::CachedFlush,
                                mem::Pattern::Seq);
+            // Functional write-back: dirty lines become durable.
+            fs_.device().flushRange(fs_.blockAddr(extent.block),
+                                    extent.bytes());
         }
         stats_.inc("vm.sync_whole_file");
     }
@@ -169,6 +172,9 @@ VmManager::syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
                                    pages * fs::kBlockSize,
                                    mem::WriteMode::CachedFlush,
                                    mem::Pattern::Seq);
+                // Functional write-back: dirty lines become durable.
+                fs_.device().flushRange(fs_.blockAddr(run->physBlock),
+                                        pages * fs::kBlockSize);
                 page += pages;
             }
         }

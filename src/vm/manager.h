@@ -101,6 +101,14 @@ class VmManager : public fs::FsHooks
     bool hugePagesEnabled() const { return hugePages_; }
     void setHugePagesEnabled(bool enabled) { hugePages_ = enabled; }
 
+    /**
+     * Crash: reverse mappings and dirty tags are volatile kernel
+     * state - forget them. Surviving AddressSpace objects must be
+     * destroyed by the harness (their processes died with the power);
+     * a late unregisterMapping on the emptied registry is a no-op.
+     */
+    void resetVolatile() { inodeVm_.clear(); }
+
   private:
     struct InodeVm
     {

@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Crash-injection and recovery tests: device persistence domains,
+ * journal replay, allocator rebuild, DaxVM table image validation,
+ * prezero re-verification, and end-to-end System crash/recover.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fs/block_alloc.h"
+#include "fs/file_system.h"
+#include "mem/device.h"
+#include "sim/fault.h"
+#include "sys/system.h"
+
+using namespace dax;
+
+namespace {
+
+sys::SystemConfig
+smallConfig(fs::Personality personality)
+{
+    sys::SystemConfig sc;
+    sc.cores = 2;
+    sc.pmemBytes = 64ULL << 20;
+    sc.pmemTableBytes = 16ULL << 20;
+    sc.dramBytes = 32ULL << 20;
+    sc.personality = personality;
+    return sc;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Device persistence domains
+// ---------------------------------------------------------------------
+
+TEST(DevicePersistence, CachedWriteIsVolatileUntilCrash)
+{
+    sim::CostModel cm;
+    mem::Device dev(mem::Kind::Pmem, 1 << 20, cm, mem::Backing::Sparse);
+    const std::uint64_t v = 0xdeadbeefcafef00dULL;
+    dev.store(4096, &v, sizeof(v), mem::WriteMode::Cached);
+    EXPECT_EQ(dev.volatileLines(), 1u);
+
+    // Coherent loads see the cached line...
+    std::uint64_t got = 0;
+    dev.fetch(4096, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+
+    // ...but a power failure discards it.
+    EXPECT_EQ(dev.crash(), 1u);
+    dev.fetch(4096, &got, sizeof(got));
+    EXPECT_EQ(got, 0u);
+}
+
+TEST(DevicePersistence, FlushRangeMakesDurable)
+{
+    sim::CostModel cm;
+    mem::Device dev(mem::Kind::Pmem, 1 << 20, cm, mem::Backing::Sparse);
+    const std::uint64_t v = 42;
+    dev.store(4096, &v, sizeof(v), mem::WriteMode::Cached);
+    EXPECT_EQ(dev.flushRange(4096, 64), 1u);
+    EXPECT_EQ(dev.volatileLines(), 0u);
+    EXPECT_EQ(dev.crash(), 0u);
+    std::uint64_t got = 0;
+    dev.fetch(4096, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+}
+
+TEST(DevicePersistence, DrainMakesEverythingDurable)
+{
+    sim::CostModel cm;
+    mem::Device dev(mem::Kind::Pmem, 1 << 20, cm, mem::Backing::Sparse);
+    for (std::uint64_t i = 0; i < 5; i++) {
+        const std::uint64_t v = i + 1;
+        dev.store(i * 4096, &v, sizeof(v), mem::WriteMode::Cached);
+    }
+    EXPECT_EQ(dev.volatileLines(), 5u);
+    EXPECT_EQ(dev.drain(), 5u);
+    dev.crash();
+    for (std::uint64_t i = 0; i < 5; i++) {
+        std::uint64_t got = 0;
+        dev.fetch(i * 4096, &got, sizeof(got));
+        EXPECT_EQ(got, i + 1);
+    }
+}
+
+TEST(DevicePersistence, NtStoreInvalidatesCachedLine)
+{
+    sim::CostModel cm;
+    mem::Device dev(mem::Kind::Pmem, 1 << 20, cm, mem::Backing::Sparse);
+    const std::uint64_t cached = 1, durable = 2;
+    dev.store(0, &cached, sizeof(cached), mem::WriteMode::Cached);
+    dev.store(0, &durable, sizeof(durable), mem::WriteMode::NtStore);
+    // The ntstore invalidated the covered cached bytes: no stale
+    // write-back can clobber it later.
+    EXPECT_EQ(dev.volatileLines(), 0u);
+    dev.crash();
+    std::uint64_t got = 0;
+    dev.fetch(0, &got, sizeof(got));
+    EXPECT_EQ(got, durable);
+}
+
+TEST(DevicePersistence, PartialLineFlushKeepsOtherLines)
+{
+    sim::CostModel cm;
+    mem::Device dev(mem::Kind::Pmem, 1 << 20, cm, mem::Backing::Sparse);
+    const std::uint64_t a = 7, b = 9;
+    dev.store(0, &a, sizeof(a), mem::WriteMode::Cached);
+    dev.store(256, &b, sizeof(b), mem::WriteMode::Cached);
+    EXPECT_EQ(dev.flushRange(0, 64), 1u); // only the first line
+    EXPECT_EQ(dev.volatileLines(), 1u);
+    dev.crash();
+    std::uint64_t got = 0;
+    dev.fetch(0, &got, sizeof(got));
+    EXPECT_EQ(got, a);
+    dev.fetch(256, &got, sizeof(got));
+    EXPECT_EQ(got, 0u); // unflushed line lost
+}
+
+// ---------------------------------------------------------------------
+// Allocator rebuild
+// ---------------------------------------------------------------------
+
+TEST(AllocatorRecovery, RebuildFromCommittedExtents)
+{
+    fs::BlockAllocator alloc(1024, 0);
+    auto a = alloc.alloc(100, 0);
+    auto b = alloc.alloc(50, 0);
+    ASSERT_EQ(a.size(), 1u);
+    ASSERT_EQ(b.size(), 1u);
+    // Only `a` was committed; the rebuild must free b's blocks.
+    EXPECT_EQ(alloc.rebuildFrom({a[0]}), 0u);
+    EXPECT_EQ(alloc.freeBlocks(), 1024u - 100u);
+    EXPECT_TRUE(alloc.check().empty());
+}
+
+TEST(AllocatorRecovery, RebuildCountsConflicts)
+{
+    fs::BlockAllocator alloc(1024, 0);
+    // Two committed extents claiming overlapping blocks: a corrupt
+    // image. The rebuild keeps them allocated once and reports the
+    // doubly-claimed count.
+    const fs::Extent x{0, 100};
+    const fs::Extent y{50, 100};
+    EXPECT_EQ(alloc.rebuildFrom({x, y}), 50u);
+    EXPECT_EQ(alloc.freeBlocks(), 1024u - 150u);
+    EXPECT_TRUE(alloc.check().empty());
+}
+
+TEST(AllocatorRecovery, PromoteZeroedRequiresFreeRange)
+{
+    fs::BlockAllocator alloc(1024, 0);
+    auto a = alloc.alloc(100, 0);
+    EXPECT_FALSE(alloc.promoteZeroed(a[0])); // allocated, not free
+    alloc.free(a[0]);
+    EXPECT_TRUE(alloc.promoteZeroed({a[0].block, 10}));
+    EXPECT_EQ(alloc.zeroedBlocks(), 10u);
+    EXPECT_FALSE(alloc.promoteZeroed({a[0].block, 10})); // now pooled
+    EXPECT_TRUE(alloc.check().empty());
+}
+
+// ---------------------------------------------------------------------
+// Journal replay (FileSystem::recover)
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct FsFixture
+{
+    explicit FsFixture(fs::Personality personality)
+        : pmem(mem::Kind::Pmem, 64ULL << 20, cm, mem::Backing::Sparse),
+          fs(personality, pmem, 0, 64ULL << 20, cm)
+    {}
+
+    void
+    crashRecover()
+    {
+        pmem.crash();
+        report = fs.recover();
+    }
+
+    sim::CostModel cm;
+    mem::Device pmem;
+    fs::FileSystem fs;
+    fs::RecoveryReport report;
+    sim::Cpu cpu{nullptr, 0, 0};
+};
+
+} // namespace
+
+class JournalReplay : public ::testing::TestWithParam<fs::Personality>
+{};
+
+TEST_P(JournalReplay, CommittedSurvivesUncommittedRollsBack)
+{
+    FsFixture fx(GetParam());
+    const fs::Ino a = fx.fs.create(fx.cpu, "/a");
+    std::vector<std::uint8_t> block(fs::kBlockSize, 0x5a);
+    fx.fs.write(fx.cpu, a, 0, block.data(), block.size());
+    fx.fs.fsync(fx.cpu, a);
+
+    // Dirty-but-uncommitted: a second file and an extension of /a.
+    const fs::Ino b = fx.fs.create(fx.cpu, "/b");
+    fx.fs.write(fx.cpu, b, 0, block.data(), block.size());
+    fx.fs.write(fx.cpu, a, fs::kBlockSize, block.data(), block.size());
+
+    fx.crashRecover();
+
+    ASSERT_TRUE(fx.fs.lookupPath("/a").has_value());
+    EXPECT_FALSE(fx.fs.lookupPath("/b").has_value());
+    EXPECT_EQ(fx.fs.inode(a).size, fs::kBlockSize); // extension rolled back
+    EXPECT_GE(fx.report.rolledBack, 1u);
+    EXPECT_EQ(fx.report.conflictBlocks, 0u);
+
+    // Committed data really is on the medium.
+    std::uint8_t got = 0;
+    fx.fs.read(fx.cpu, a, 100, &got, 1);
+    EXPECT_EQ(got, 0x5a);
+    EXPECT_TRUE(fx.fs.fsck().empty());
+}
+
+TEST_P(JournalReplay, CommitEraseMakesUnlinkDurable)
+{
+    FsFixture fx(GetParam());
+    const fs::Ino a = fx.fs.create(fx.cpu, "/a");
+    fx.fs.fallocate(fx.cpu, a, 0, 4 * fs::kBlockSize);
+    fx.fs.fsync(fx.cpu, a);
+    fx.fs.unlink(fx.cpu, "/a");
+
+    fx.crashRecover();
+
+    EXPECT_FALSE(fx.fs.lookupPath("/a").has_value());
+    // The freed blocks are free again, not leaked.
+    EXPECT_EQ(fx.fs.allocator().freeBlocks()
+                  + fx.fs.allocator().zeroedBlocks()
+                  + fx.fs.allocator().divertedBlocks(),
+              fx.fs.allocator().totalBlocks());
+    EXPECT_TRUE(fx.fs.fsck().empty());
+}
+
+TEST_P(JournalReplay, ShrinkingTruncateDoesNotDoubleClaim)
+{
+    FsFixture fx(GetParam());
+    const fs::Ino a = fx.fs.create(fx.cpu, "/a");
+    fx.fs.fallocate(fx.cpu, a, 0, 8 * fs::kBlockSize);
+    fx.fs.fsync(fx.cpu, a);
+    // Shrink commits synchronously; the freed blocks may be handed to
+    // another committed file before the next global sync.
+    fx.fs.ftruncate(fx.cpu, a, fs::kBlockSize);
+    const fs::Ino b = fx.fs.create(fx.cpu, "/b");
+    fx.fs.fallocate(fx.cpu, b, 0, 6 * fs::kBlockSize);
+    fx.fs.fsync(fx.cpu, b);
+
+    fx.crashRecover();
+
+    EXPECT_EQ(fx.report.conflictBlocks, 0u);
+    EXPECT_TRUE(fx.fs.fsck().empty());
+    ASSERT_TRUE(fx.fs.lookupPath("/a").has_value());
+    ASSERT_TRUE(fx.fs.lookupPath("/b").has_value());
+    EXPECT_EQ(fx.fs.inode(a).size, fs::kBlockSize);
+}
+
+INSTANTIATE_TEST_SUITE_P(Personalities, JournalReplay,
+                         ::testing::Values(fs::Personality::Ext4Dax,
+                                           fs::Personality::Nova),
+                         [](const auto &info) {
+                             return info.param == fs::Personality::Ext4Dax
+                                        ? "Ext4Dax"
+                                        : "Nova";
+                         });
+
+// ---------------------------------------------------------------------
+// End-to-end System crash/recover
+// ---------------------------------------------------------------------
+
+class SystemCrash : public ::testing::TestWithParam<fs::Personality>
+{};
+
+TEST_P(SystemCrash, DurableWritesSurviveRecovery)
+{
+    sys::System system(smallConfig(GetParam()));
+    const fs::Ino ino = system.makeFile("/f", 256 << 10, 4096);
+
+    sim::Cpu cpu(nullptr, 0, 0);
+    const std::uint64_t v = 0x1122334455667788ULL;
+    system.fs().write(cpu, ino, 64, &v, sizeof(v)); // ntstore, durable
+
+    const auto crash = system.crash();
+    EXPECT_EQ(crash.dirtyLinesLost, 0u);
+    const auto rec = system.recover();
+    EXPECT_GE(rec.fs.inodesRestored, 1u);
+    EXPECT_EQ(rec.fs.conflictBlocks, 0u);
+
+    std::uint64_t got = 0;
+    system.fs().read(cpu, ino, 64, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+    // The untouched setup pattern is intact too.
+    std::uint8_t pat = 0;
+    system.fs().read(cpu, ino, 200, &pat, 1);
+    EXPECT_EQ(pat, sys::System::patternByte(ino, 200));
+    EXPECT_TRUE(system.fs().fsck().empty());
+}
+
+TEST_P(SystemCrash, MissingFlushIsDetectedAsLostData)
+{
+    // The acceptance scenario: a cached (mmap-style) write with no
+    // fsync/msync before the crash MUST be detected as lost.
+    sys::System system(smallConfig(GetParam()));
+    const fs::Ino ino = system.makeFile("/f", 256 << 10);
+
+    sim::Cpu cpu(nullptr, 0, 0);
+    const auto run = system.fs().inode(ino).find(0);
+    const std::uint64_t pa = system.fs().blockAddr(run->physBlock);
+    const std::uint64_t v = 0xabcdabcdabcdabcdULL;
+    system.pmem().store(pa + 128, &v, sizeof(v), mem::WriteMode::Cached);
+
+    // Pre-crash, coherent reads see the new value (the bug hides).
+    std::uint64_t got = 0;
+    system.fs().read(cpu, ino, 128, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+
+    const auto crash = system.crash();
+    EXPECT_GE(crash.dirtyLinesLost, 1u); // the missing flush, detected
+    system.recover();
+
+    system.fs().read(cpu, ino, 128, &got, sizeof(got));
+    EXPECT_EQ(got, 0u); // the write is gone
+}
+
+TEST_P(SystemCrash, FsyncMakesCachedWritesDurable)
+{
+    sys::System system(smallConfig(GetParam()));
+    const fs::Ino ino = system.makeFile("/f", 256 << 10);
+
+    sim::Cpu cpu(nullptr, 0, 0);
+    const auto run = system.fs().inode(ino).find(0);
+    const std::uint64_t pa = system.fs().blockAddr(run->physBlock);
+    const std::uint64_t v = 0xfeedfacefeedfaceULL;
+    system.pmem().store(pa + 128, &v, sizeof(v), mem::WriteMode::Cached);
+    system.fs().fsync(cpu, ino); // flushes the file's dirty lines
+
+    const auto crash = system.crash();
+    EXPECT_EQ(crash.dirtyLinesLost, 0u);
+    system.recover();
+
+    std::uint64_t got = 0;
+    system.fs().read(cpu, ino, 128, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+}
+
+INSTANTIATE_TEST_SUITE_P(Personalities, SystemCrash,
+                         ::testing::Values(fs::Personality::Ext4Dax,
+                                           fs::Personality::Nova),
+                         [](const auto &info) {
+                             return info.param == fs::Personality::Ext4Dax
+                                        ? "Ext4Dax"
+                                        : "Nova";
+                         });
+
+// ---------------------------------------------------------------------
+// DaxVM persistent table images
+// ---------------------------------------------------------------------
+
+TEST(TableRecovery, ValidImageIsValidatedNotRebuilt)
+{
+    sys::System system(smallConfig(fs::Personality::Ext4Dax));
+    const fs::Ino ino = system.makeFile("/f", 256 << 10); // persistent
+    ASSERT_NE(system.fileTables(), nullptr);
+    const auto *img = system.fileTables()->imageOf(ino);
+    ASSERT_NE(img, nullptr);
+    EXPECT_FALSE(img->midUpdate);
+
+    system.crash();
+    const auto rec = system.recover();
+    EXPECT_GE(rec.tables.validated, 1u);
+    EXPECT_EQ(rec.tables.rebuilt, 0u);
+}
+
+TEST(TableRecovery, TornImageFallsBackToRebuild)
+{
+    sys::System system(smallConfig(fs::Personality::Ext4Dax));
+    const fs::Ino ino = system.makeFile("/f", 256 << 10);
+
+    // Crash inside the next table-update window: the image is left
+    // mid-update (torn) and must be rejected on attach.
+    sim::FaultPlan plan =
+        sim::FaultPlan::atKind(sim::FaultEvent::TableUpdate, 0);
+    system.setFaultPlan(&plan);
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::vector<std::uint8_t> block(fs::kBlockSize, 0x33);
+    bool crashed = false;
+    try {
+        // Extending write: allocation triggers a table update.
+        system.fs().write(cpu, ino, 256 << 10, block.data(),
+                          block.size());
+    } catch (const sim::CrashException &e) {
+        crashed = true;
+        EXPECT_EQ(e.event(), sim::FaultEvent::TableUpdate);
+    }
+    ASSERT_TRUE(crashed);
+    const auto *img = system.fileTables()->imageOf(ino);
+    ASSERT_NE(img, nullptr);
+    EXPECT_TRUE(img->midUpdate); // torn at the crash point
+
+    system.crash();
+    const auto rec = system.recover();
+    EXPECT_GE(rec.tables.rebuilt, 1u);
+
+    // Post-recovery the image is sealed again and attach works.
+    img = system.fileTables()->imageOf(ino);
+    ASSERT_NE(img, nullptr);
+    EXPECT_FALSE(img->midUpdate);
+    EXPECT_NE(system.fileTables()->tables(nullptr, ino).table, nullptr);
+    EXPECT_TRUE(system.fs().fsck().empty());
+    system.setFaultPlan(nullptr);
+}
+
+TEST(TableRecovery, DroppedWithItsInode)
+{
+    sys::System system(smallConfig(fs::Personality::Ext4Dax));
+    system.makeFile("/f", 256 << 10);
+    sim::Cpu cpu(nullptr, 0, 0);
+    system.fs().unlink(cpu, "/f");
+
+    system.crash();
+    const auto rec = system.recover();
+    EXPECT_GE(rec.tables.dropped, 1u);
+    EXPECT_FALSE(system.fs().lookupPath("/f").has_value());
+}
+
+// ---------------------------------------------------------------------
+// Prezero pool re-verification
+// ---------------------------------------------------------------------
+
+TEST(PrezeroRecovery, PendingListsAreVolatile)
+{
+    sys::System system(smallConfig(fs::Personality::Ext4Dax));
+    system.makeFile("/f", 1 << 20);
+    sim::Cpu cpu(nullptr, 0, 0);
+    system.fs().unlink(cpu, "/f"); // frees divert to the daemon
+
+    ASSERT_NE(system.prezeroDaemon(), nullptr);
+    EXPECT_GT(system.prezeroDaemon()->pendingBlocks(), 0u);
+
+    const auto crash = system.crash();
+    EXPECT_GT(crash.prezeroPendingLost, 0u);
+    const auto rec = system.recover();
+    EXPECT_EQ(rec.fs.conflictBlocks, 0u);
+    // In-flight blocks are plain free again after the rebuild.
+    EXPECT_EQ(system.fs().allocator().divertedBlocks(), 0u);
+    EXPECT_TRUE(system.fs().fsck().empty());
+}
+
+TEST(PrezeroRecovery, ZeroedPoolReverifiedOnRecovery)
+{
+    sys::System system(smallConfig(fs::Personality::Ext4Dax));
+    system.makeFile("/f", 1 << 20);
+    sim::Cpu cpu(nullptr, 0, 0);
+    system.fs().unlink(cpu, "/f");
+    system.prezeroDaemon()->drainUntimed();
+
+    auto zeroed = system.fs().allocator().zeroedExtents();
+    ASSERT_FALSE(zeroed.empty());
+    const std::uint64_t poolBlocks =
+        system.fs().allocator().zeroedBlocks();
+
+    // Corrupt one pooled extent on the durable medium (models a stray
+    // durable write the pool never learned about).
+    const fs::Extent victim = zeroed.front();
+    const std::uint64_t junk = 0x6666666666666666ULL;
+    system.pmem().store(system.fs().blockAddr(victim.block) + 8, &junk,
+                        sizeof(junk), mem::WriteMode::NtStore);
+
+    system.crash();
+    const auto rec = system.recover();
+    // The corrupted extent is demoted to plain free; intact ones are
+    // readmitted.
+    EXPECT_GE(rec.zeroedDemoted, victim.count);
+    EXPECT_EQ(rec.zeroedReadmitted + rec.zeroedDemoted, poolBlocks);
+
+    // The invariant holds again: everything pooled really is zero.
+    for (const auto &e : system.fs().allocator().zeroedExtents()) {
+        EXPECT_TRUE(system.pmem().isZero(system.fs().blockAddr(e.block),
+                                         e.bytes()));
+    }
+    EXPECT_TRUE(system.fs().fsck().empty());
+}
+
+// ---------------------------------------------------------------------
+// FaultPlan behaviour
+// ---------------------------------------------------------------------
+
+TEST(FaultPlan, CountingPlanNeverFires)
+{
+    sim::FaultPlan plan;
+    EXPECT_FALSE(plan.armed());
+    for (int i = 0; i < 100; i++)
+        plan.onEvent(sim::FaultEvent::DurableStore, i);
+    EXPECT_EQ(plan.eventsSeen(), 100u);
+    EXPECT_FALSE(plan.fired());
+}
+
+TEST(FaultPlan, IndexPlanFiresExactlyOnce)
+{
+    sim::FaultPlan plan = sim::FaultPlan::atIndex(3);
+    EXPECT_TRUE(plan.armed());
+    for (int i = 0; i < 3; i++)
+        plan.onEvent(sim::FaultEvent::Flush, 0);
+    EXPECT_THROW(plan.onEvent(sim::FaultEvent::JournalCommit, 0),
+                 sim::CrashException);
+    EXPECT_TRUE(plan.fired());
+    // A fired plan is inert: recovery-path events must not re-crash.
+    plan.onEvent(sim::FaultEvent::TableUpdate, 0);
+    plan.onEvent(sim::FaultEvent::JournalCommit, 0);
+}
+
+TEST(FaultPlan, KindPlanCountsOnlyItsKind)
+{
+    sim::FaultPlan plan =
+        sim::FaultPlan::atKind(sim::FaultEvent::JournalCommit, 1);
+    plan.onEvent(sim::FaultEvent::DurableStore, 0);
+    plan.onEvent(sim::FaultEvent::JournalCommit, 0); // 0th commit
+    plan.onEvent(sim::FaultEvent::Flush, 0);
+    EXPECT_THROW(plan.onEvent(sim::FaultEvent::JournalCommit, 0),
+                 sim::CrashException);
+}

@@ -85,6 +85,66 @@ TEST(Device, OutOfRangeThrows)
     EXPECT_THROW(dev.store((1 << 20) - 1, &b, 2), std::out_of_range);
 }
 
+TEST(Device, SparseWriteStraddlingPagesKeepsEveryByte)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    // A write spanning three host pages, starting and ending mid-page.
+    std::uint8_t buf[2 * kPageSize + 100];
+    for (std::size_t i = 0; i < sizeof(buf); i++)
+        buf[i] = static_cast<std::uint8_t>(i * 7 + 1);
+    const Paddr addr = kPageSize - 50;
+    dev.store(addr, buf, sizeof(buf));
+    // [kPageSize-50, 3*kPageSize+50): pages 0 through 3 materialize.
+    EXPECT_EQ(dev.sparsePages(), 4u);
+    std::uint8_t out[sizeof(buf)] = {};
+    dev.fetch(addr, out, sizeof(out));
+    EXPECT_EQ(std::memcmp(buf, out, sizeof(buf)), 0);
+    // Bytes just outside the written range stayed zero.
+    std::uint8_t edge = 0xff;
+    dev.fetch(addr - 1, &edge, 1);
+    EXPECT_EQ(edge, 0);
+    dev.fetch(addr + sizeof(buf), &edge, 1);
+    EXPECT_EQ(edge, 0);
+}
+
+TEST(Device, IsZeroAcrossMaterializedAndUnmaterializedPages)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    // Page 1: materialized with nonzero content. Page 3: materialized
+    // but all-zero (stored zeros). Pages 0, 2, 4: never touched.
+    const std::uint8_t nz = 5;
+    dev.store(kPageSize + 17, &nz, 1);
+    const std::uint8_t z = 0;
+    dev.store(3 * kPageSize + 17, &z, 1);
+    EXPECT_GE(dev.sparsePages(), 1u);
+
+    EXPECT_FALSE(dev.isZero(0, 5 * kPageSize));
+    EXPECT_TRUE(dev.isZero(0, kPageSize));
+    EXPECT_FALSE(dev.isZero(kPageSize, kPageSize));
+    EXPECT_TRUE(dev.isZero(2 * kPageSize, 3 * kPageSize));
+
+    dev.zero(kPageSize + 17, 1);
+    EXPECT_TRUE(dev.isZero(0, 5 * kPageSize));
+}
+
+TEST(Device, CheckRangeRejectsOverflowingRanges)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    std::uint8_t b = 0;
+    // addr + bytes would wrap around 2^64: must be rejected, not
+    // silently accepted by a naive addr + bytes <= capacity check.
+    const std::uint64_t huge = ~0ULL - 32;
+    EXPECT_THROW(dev.fetch(64, &b, huge), std::out_of_range);
+    EXPECT_THROW(dev.store(64, &b, huge), std::out_of_range);
+    EXPECT_THROW(dev.zero(64, huge), std::out_of_range);
+    EXPECT_THROW((void)dev.isZero(64, huge), std::out_of_range);
+    EXPECT_THROW(dev.flushRange(64, huge), std::out_of_range);
+    // Degenerate but legal: an empty range at the very end.
+    dev.fetch(1 << 20, &b, 0);
+    // One past the end is out.
+    EXPECT_THROW(dev.fetch((1 << 20) + 1, &b, 0), std::out_of_range);
+}
+
 TEST(Device, PmemLoadLatencyExceedsDram)
 {
     Device pmem(Kind::Pmem, 1 << 20, cm, Backing::None);
