@@ -40,6 +40,7 @@ apacheRps(unsigned batch)
             std::make_unique<ApacheWorker>(system, *as, wc));
     }
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return 16.0 * 1500.0 / (static_cast<double>(elapsed) / 1e9);
 }
 
@@ -67,6 +68,7 @@ ycsbLoadKops(sim::Bw throttle, bool prezero)
     std::vector<std::unique_ptr<sim::Task>> tasks;
     tasks.push_back(std::make_unique<YcsbRunner>(load));
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return static_cast<double>(load.ops)
          / (static_cast<double>(elapsed) / 1e9) / 1000.0;
 }
@@ -92,15 +94,18 @@ randomReadKops(bool monitor)
     std::vector<std::unique_ptr<sim::Task>> tasks;
     tasks.push_back(std::make_unique<Repetitive>(system, *as, rc));
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return 200000.0 / (static_cast<double>(elapsed) / 1e9) / 1000.0;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Ablations of DaxVM design choices\n");
+    init(argc, argv, "ablations");
+    note("Ablations of DaxVM design choices");
+    setSeed(1); // ApacheWorker t uses seed t+1
 
     const double b33 = apacheRps(33);
     const double b512 = apacheRps(512);
@@ -126,5 +131,16 @@ main()
     std::printf("monitor off: %.1f kops, on: %.1f kops (+%.1f%%; "
                 "paper: ~10%%)\n",
                 noMon, withMon, 100.0 * (withMon - noMon) / noMon);
-    return 0;
+
+    result().figures.push_back(FigureData{
+        "Async unmap batch (Apache rps)", "batch", {"33", "512"},
+        {Series{"rps", {b33, b512}}}});
+    result().figures.push_back(FigureData{
+        "Pre-zero throttle (YCSB Load A kops)", "prezero",
+        {"off", "1GB/s", "64MB/s"},
+        {Series{"kops", {off, full, throttled}}}});
+    result().figures.push_back(FigureData{
+        "MMU monitor migration (random 4KB read kops)", "monitor",
+        {"off", "on"}, {Series{"kops", {noMon, withMon}}}});
+    return finish();
 }

@@ -7,15 +7,35 @@
  * scaling factors relative to the paper's setup and (b) one row per
  * figure series point, so EXPERIMENTS.md can quote the output
  * directly.
+ *
+ * Besides the human-readable stdout (whose format is frozen - runs
+ * are bit-reproducible and diffed against golden output), each bench
+ * accumulates a BenchResult: every figure row, every note, the
+ * SystemConfig of the measured systems, the workload seed, and the
+ * merged telemetry snapshot of every recorded System. `--json PATH`
+ * serializes it (schema: docs/metrics.md); scripts/run_all.sh
+ * aggregates the per-bench files and scripts/bench_diff.py compares
+ * two aggregates for regressions.
+ *
+ * Bench main() protocol:
+ *   int main(int argc, char **argv) {
+ *       bench::init(argc, argv, "fig1a_readonce");
+ *       ... bench::note(...); sys::System system(...);
+ *       ... printFigure(...); bench::record(system); ...
+ *       return bench::finish();
+ *   }
  */
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/json.h"
+#include "sim/metrics.h"
 #include "sys/system.h"
 #include "workloads/common.h"
 
@@ -32,17 +52,6 @@ benchConfig(std::uint64_t pmemBytes = 2ULL << 30, unsigned cores = 16)
         pmemBytes / 16, 128ULL << 20);
     config.dramBytes = 1ULL << 30;
     return config;
-}
-
-/** Age an image the way the evaluation section does. */
-inline fs::AgingReport
-ageImage(sys::System &system, double churn = 3.0)
-{
-    fs::AgingConfig aging;
-    aging.churnFactor = churn;
-    auto report = system.age(aging);
-    std::printf("# %s\n", report.toString().c_str());
-    return report;
 }
 
 /**
@@ -71,6 +80,193 @@ struct Series
     std::vector<double> values;
 };
 
+/** One printed figure, captured verbatim for the JSON result. */
+struct FigureData
+{
+    std::string title;
+    std::string xLabel;
+    std::vector<std::string> xs;
+    std::vector<Series> series;
+};
+
+/**
+ * Everything one bench run produced: the figure rows exactly as
+ * printed, free-form notes (workload parameters, aging reports), the
+ * configuration and merged metrics snapshot of every System passed to
+ * record(), and the workload seed.
+ */
+struct BenchResult
+{
+    std::string name;
+    std::uint64_t seed = 0;
+    std::vector<std::string> notes;
+    std::vector<FigureData> figures;
+    /** Snapshots of all recorded systems, merged. */
+    sim::MetricsSnapshot metrics;
+    unsigned systemsRecorded = 0;
+    bool haveConfig = false;
+    sys::SystemConfig config;
+    /** Empty = stdout only (no JSON requested). */
+    std::string jsonPath;
+
+    sim::Json
+    toJson() const
+    {
+        sim::Json root = sim::Json::object();
+        root["schema"] = sim::Json("daxvm-bench-result-v1");
+        root["bench"] = sim::Json(name);
+        root["seed"] = sim::Json(seed);
+
+        sim::Json noteArr = sim::Json::array();
+        for (const auto &n : notes)
+            noteArr.push(sim::Json(n));
+        root["notes"] = std::move(noteArr);
+
+        sim::Json figArr = sim::Json::array();
+        for (const auto &fig : figures) {
+            sim::Json f = sim::Json::object();
+            f["title"] = sim::Json(fig.title);
+            f["x_label"] = sim::Json(fig.xLabel);
+            sim::Json xsArr = sim::Json::array();
+            for (const auto &x : fig.xs)
+                xsArr.push(sim::Json(x));
+            f["xs"] = std::move(xsArr);
+            sim::Json seriesArr = sim::Json::array();
+            for (const auto &s : fig.series) {
+                sim::Json sj = sim::Json::object();
+                sj["name"] = sim::Json(s.name);
+                sim::Json vals = sim::Json::array();
+                for (const double v : s.values)
+                    vals.push(sim::Json(v));
+                sj["values"] = std::move(vals);
+                seriesArr.push(std::move(sj));
+            }
+            f["series"] = std::move(seriesArr);
+            figArr.push(std::move(f));
+        }
+        root["figures"] = std::move(figArr);
+
+        sim::Json cfg = sim::Json::object();
+        if (haveConfig) {
+            cfg["cores"] = sim::Json(std::uint64_t(config.cores));
+            cfg["pmem_bytes"] = sim::Json(config.pmemBytes);
+            cfg["pmem_table_bytes"] = sim::Json(config.pmemTableBytes);
+            cfg["dram_bytes"] = sim::Json(config.dramBytes);
+            cfg["personality"] = sim::Json(
+                config.personality == fs::Personality::Ext4Dax
+                    ? "ext4dax"
+                    : "nova");
+            cfg["daxvm"] = sim::Json(config.daxvm);
+            cfg["prezero"] = sim::Json(config.prezero);
+            cfg["inode_cache_capacity"] =
+                sim::Json(std::uint64_t(config.inodeCacheCapacity));
+        }
+        root["config"] = std::move(cfg);
+        root["systems_recorded"] =
+            sim::Json(std::uint64_t(systemsRecorded));
+        root["metrics"] = metrics.toJson();
+        return root;
+    }
+};
+
+/** The process-wide result under construction. */
+inline BenchResult &
+result()
+{
+    static BenchResult r;
+    return r;
+}
+
+/**
+ * Parse the shared bench command line (currently `--json PATH`) and
+ * name the result. Call first in every bench main().
+ */
+inline void
+init(int argc, char **argv, const std::string &name)
+{
+    result().name = name;
+    for (int i = 1; i < argc; i++) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            result().jsonPath = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--json PATH]\n"
+                         "  --json PATH  also write the BenchResult as "
+                         "JSON (schema: docs/metrics.md)\n",
+                         argv[0]);
+            std::exit(arg == "--help" ? 0 : 2);
+        }
+    }
+}
+
+/** Record the workload seed in the result (default 0 = unseeded). */
+inline void
+setSeed(std::uint64_t seed)
+{
+    result().seed = seed;
+}
+
+/** Print a `# `-prefixed parameter/scaling line and capture it. */
+inline void
+note(const std::string &text)
+{
+    std::printf("# %s\n", text.c_str());
+    result().notes.push_back(text);
+}
+
+/**
+ * Fold @p system's configuration and full telemetry snapshot into the
+ * result. Call once per System, after its measurement phases and
+ * before it is destroyed. Distinct systems have distinct registries,
+ * so counters merge additively without double counting.
+ */
+inline void
+record(sys::System &system)
+{
+    auto &r = result();
+    if (!r.haveConfig) {
+        r.config = system.config();
+        r.haveConfig = true;
+    }
+    r.metrics.merge(system.snapshotMetrics());
+    r.systemsRecorded++;
+}
+
+/**
+ * Write the JSON result if `--json` was given. Return the bench's
+ * exit code (use as `return bench::finish();`).
+ */
+inline int
+finish()
+{
+    const auto &r = result();
+    if (r.jsonPath.empty())
+        return 0;
+    std::FILE *f = std::fopen(r.jsonPath.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", r.jsonPath.c_str());
+        return 1;
+    }
+    const std::string text = r.toJson().dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return 0;
+}
+
+/** Age an image the way the evaluation section does. */
+inline fs::AgingReport
+ageImage(sys::System &system, double churn = 3.0)
+{
+    fs::AgingConfig aging;
+    aging.churnFactor = churn;
+    auto report = system.age(aging);
+    std::printf("# %s\n", report.toString().c_str());
+    result().notes.push_back(report.toString());
+    return report;
+}
+
 /** Print a figure as an aligned table: rows = x, columns = series. */
 inline void
 printFigure(const std::string &title, const std::string &xLabel,
@@ -92,6 +288,7 @@ printFigure(const std::string &title, const std::string &xLabel,
         }
         std::printf("\n");
     }
+    result().figures.push_back(FigureData{title, xLabel, xs, series});
 }
 
 /** Human-readable byte size (4K, 2M, 1G...). */

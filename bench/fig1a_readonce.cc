@@ -40,12 +40,13 @@ sweepLatencyUs(sys::System &system, const std::string &prefix,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 1a / Fig 4: read-once access vs file size "
-                "(1 thread, aged ext4-DAX)\n");
-    std::printf("# paper setup: 50K files or 100GB; scaled: <=256MB per "
-                "series, 2GB image\n");
+    init(argc, argv, "fig1a_readonce");
+    note("Fig 1a / Fig 4: read-once access vs file size "
+         "(1 thread, aged ext4-DAX)");
+    note("paper setup: 50K files or 100GB; scaled: <=256MB per "
+         "series, 2GB image");
 
     const std::vector<std::uint64_t> sizes = {
         4096,        16384,       65536,        262144,
@@ -96,11 +97,12 @@ main()
                 readUs = us;
             relative[i].values.push_back(readUs / us);
         }
+        record(system);
     }
 
     printFigure("Fig 1a: latency per file (us, lower is better)",
                 "file size", xs, latency);
     printFigure("Fig 4: throughput relative to read (higher is better)",
                 "file size", xs, relative, "%12.3f");
-    return 0;
+    return finish();
 }

@@ -32,6 +32,7 @@ sweepOpsPerSec(unsigned threads, const AccessOptions &access)
             std::make_unique<Filesweep>(system, *as, config));
     }
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return static_cast<double>(files)
          / (static_cast<double>(elapsed) / 1e9);
 }
@@ -39,10 +40,11 @@ sweepOpsPerSec(unsigned threads, const AccessOptions &access)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 1b: read-once throughput over 32KB files vs "
-                "threads (aged ext4-DAX)\n");
+    init(argc, argv, "fig1b_scaling");
+    note("Fig 1b: read-once throughput over 32KB files vs "
+         "threads (aged ext4-DAX)");
     const std::vector<unsigned> threads = {1, 2, 4, 8, 12, 16};
 
     std::vector<std::pair<std::string, AccessOptions>> interfaces;
@@ -73,5 +75,5 @@ main()
     }
     printFigure("Fig 1b: files/sec (x1000, higher is better)", "threads",
                 xs, series);
-    return 0;
+    return finish();
 }

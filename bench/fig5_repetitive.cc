@@ -53,12 +53,13 @@ opsPerSec(sys::System &system, fs::Ino ino, std::uint64_t fileBytes,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 1c / Fig 5: repetitive access over one large "
-                "file (aged ext4-DAX, 1 thread)\n");
-    std::printf("# paper: 100GB file, ~100M ops; scaled: 512MB file, "
-                "200K ops per pattern\n");
+    init(argc, argv, "fig5_repetitive");
+    note("Fig 1c / Fig 5: repetitive access over one large "
+         "file (aged ext4-DAX, 1 thread)");
+    note("paper: 100GB file, ~100M ops; scaled: 512MB file, "
+         "200K ops per pattern");
 
     sys::System system(benchConfig(2ULL << 30, 4));
     ageImage(system);
@@ -119,5 +120,6 @@ main()
                 "access)\n",
                 (unsigned long long)system.dax()->stats().get(
                     "daxvm.monitor_migrations"));
-    return 0;
+    record(system);
+    return finish();
 }

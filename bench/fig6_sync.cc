@@ -69,12 +69,13 @@ opsPerSec(sys::System &system, fs::Ino ino, std::uint64_t fileBytes,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 6: syncing cost, sequential 1KB writes, sync "
-                "every N writes (huge pages off)\n");
-    std::printf("# paper: 10GB file, 1000 syncs; scaled: 512MB file, "
-                "100K writes per point\n");
+    init(argc, argv, "fig6_sync");
+    note("Fig 6: syncing cost, sequential 1KB writes, sync "
+         "every N writes (huge pages off)");
+    note("paper: 10GB file, 1000 syncs; scaled: 512MB file, "
+         "100K writes per point");
 
     sys::System system(benchConfig(3ULL << 30, 4));
     system.vmm().setHugePagesEnabled(false);
@@ -129,5 +130,6 @@ main()
     }
     printFigure("Fig 6: 1KB writes/sec (x1000, higher is better)",
                 "writes/sync", xs, series);
-    return 0;
+    record(system);
+    return finish();
 }

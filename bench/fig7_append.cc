@@ -45,6 +45,7 @@ appendsPerSec(fs::Personality personality, std::uint64_t appendBytes,
     std::vector<std::unique_ptr<sim::Task>> tasks;
     tasks.push_back(std::move(append));
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return static_cast<double>(ptr->filesDone())
          / (static_cast<double>(elapsed) / 1e9);
 }
@@ -97,11 +98,12 @@ runPersonality(fs::Personality personality, const char *label)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 7: append operations (single thread, fresh "
-                "image, files recycled)\n");
+    init(argc, argv, "fig7_append");
+    note("Fig 7: append operations (single thread, fresh "
+         "image, files recycled)");
     runPersonality(fs::Personality::Ext4Dax, "ext4-DAX");
     runPersonality(fs::Personality::Nova, "NOVA");
-    return 0;
+    return finish();
 }

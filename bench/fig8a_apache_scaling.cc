@@ -46,6 +46,7 @@ rps(unsigned threads, const Variant &variant)
         tasks.push_back(std::move(worker));
     }
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     std::uint64_t requests = 0;
     for (auto *w : workers)
         requests += w->requestsDone();
@@ -56,10 +57,12 @@ rps(unsigned threads, const Variant &variant)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 8a: Apache throughput, 32KB pages, threads "
-                "1..16\n");
+    init(argc, argv, "fig8a_apache_scaling");
+    note("Fig 8a: Apache throughput, 32KB pages, threads "
+         "1..16");
+    setSeed(1); // ApacheWorker t uses seed t+1
 
     std::vector<Variant> variants;
     {
@@ -102,5 +105,14 @@ main()
             series[i].values.push_back(rps(t, variants[i]) / 1000.0);
     }
     printFigure("Fig 8a: requests/sec (x1000)", "threads", xs, series);
-    return 0;
+
+    // Why mmap stops scaling: writer-side mmap_sem contention summed
+    // over every variant x thread-count run above.
+    const auto &m = result().metrics;
+    std::printf("\n# mmap_sem writers: %.0f acquisitions, "
+                "%.2f ms waiting, %.2f ms held\n",
+                m.gauge("vm.mmap_sem.write_acquisitions"),
+                m.gauge("vm.mmap_sem.write_wait_ns") / 1e6,
+                m.gauge("vm.mmap_sem.write_held_ns") / 1e6);
+    return finish();
 }

@@ -36,16 +36,19 @@ rps(std::uint64_t pageBytes, const AccessOptions &access)
             std::make_unique<ApacheWorker>(system, *as, wc));
     }
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return 16.0 * 1000.0 / (static_cast<double>(elapsed) / 1e9);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 8b: Apache at 16 cores, webpage size sweep, "
-                "relative to read\n");
+    init(argc, argv, "fig8b_apache_size");
+    note("Fig 8b: Apache at 16 cores, webpage size sweep, "
+         "relative to read");
+    setSeed(1); // ApacheWorker t uses seed t+1
 
     std::vector<std::pair<std::string, AccessOptions>> interfaces;
     {
@@ -80,5 +83,5 @@ main()
     }
     printFigure("Fig 8b: throughput relative to read (16 cores)",
                 "page size", xs, series, "%12.3f");
-    return 0;
+    return finish();
 }

@@ -40,17 +40,18 @@ filesPerSec(sys::System &system,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 9a: ag-style text search over a source-tree "
-                "corpus\n");
-    std::printf("# paper: 68K files / 891MB; scaled: 24K files capped "
-                "at 512MB\n");
+    init(argc, argv, "fig9a_textsearch");
+    note("Fig 9a: ag-style text search over a source-tree "
+         "corpus");
+    note("paper: 68K files / 891MB; scaled: 24K files capped "
+         "at 512MB");
 
     sys::System system(benchConfig(2ULL << 30, 16));
     auto corpus = makeSourceTreeCorpus(system, "/src/", 24000, 7,
                                        512ULL << 20);
-    std::printf("# corpus: %zu files\n", corpus.size());
+    note("corpus: " + std::to_string(corpus.size()) + " files");
 
     std::vector<std::pair<std::string, AccessOptions>> interfaces;
     {
@@ -86,5 +87,6 @@ main()
     }
     printFigure("Fig 9a: files searched/sec (x1000)", "threads", xs,
                 series);
-    return 0;
+    record(system);
+    return finish();
 }

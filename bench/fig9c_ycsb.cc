@@ -65,6 +65,7 @@ runPhase(fs::Personality personality, const Variant &variant,
         loadElapsed = runWorkers(system, std::move(tasks));
     }
     if (measureLoad) {
+        record(system);
         return static_cast<double>(ops)
              / (static_cast<double>(loadElapsed) / 1e9) / 1000.0;
     }
@@ -77,6 +78,7 @@ runPhase(fs::Personality personality, const Variant &variant,
     std::vector<std::unique_ptr<sim::Task>> tasks;
     tasks.push_back(std::make_unique<YcsbRunner>(run));
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return static_cast<double>(ops)
          / (static_cast<double>(elapsed) / 1e9) / 1000.0;
 }
@@ -138,13 +140,14 @@ runPersonality(fs::Personality personality, const char *label,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Fig 9c: YCSB on a pmem-RocksDB-like LSM store, aged "
-                "image\n");
-    std::printf("# paper: 50GB dataset, ~12M ops; scaled: 64MB dataset "
-                "(16K records x 4KB), 30K ops\n");
+    init(argc, argv, "fig9c_ycsb");
+    note("Fig 9c: YCSB on a pmem-RocksDB-like LSM store, aged "
+         "image");
+    note("paper: 50GB dataset, ~12M ops; scaled: 64MB dataset "
+         "(16K records x 4KB), 30K ops");
     runPersonality(fs::Personality::Ext4Dax, "ext4-DAX", 16384, 30000);
     runPersonality(fs::Personality::Nova, "NOVA", 16384, 30000);
-    return 0;
+    return finish();
 }

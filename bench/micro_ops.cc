@@ -7,6 +7,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench/common.h"
 #include "daxvm/api.h"
 #include "sys/system.h"
 #include "workloads/filesweep.h"
@@ -152,6 +155,67 @@ BM_EngineRun16Threads(benchmark::State &state)
 }
 BENCHMARK(BM_EngineRun16Threads);
 
+/**
+ * Console reporter that also captures per-benchmark adjusted real time
+ * so the run can be serialized as a BenchResult like the figure
+ * benches (one figure, one "real_ns" series). Host wall-clock numbers
+ * are inherently noisy - consumers (scripts/bench_diff.py) treat this
+ * bench's rows as informational, not as regression gates.
+ */
+class CaptureReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const auto &run : reports) {
+            if (run.error_occurred)
+                continue;
+            fig_.xs.push_back(run.benchmark_name());
+            fig_.series[0].values.push_back(run.GetAdjustedRealTime());
+        }
+        benchmark::ConsoleReporter::ReportRuns(reports);
+    }
+
+    bench::FigureData
+    takeFigure()
+    {
+        return std::move(fig_);
+    }
+
+  private:
+    bench::FigureData fig_{"micro_ops: host cost of simulator primitives",
+                           "benchmark",
+                           {},
+                           {bench::Series{"real_ns", {}}}};
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    // Peel our shared --json flag off before google-benchmark parses
+    // the rest of the command line.
+    std::vector<char *> args;
+    std::string jsonPath;
+    for (int i = 0; i < argc; i++) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            jsonPath = argv[++i];
+        else
+            args.push_back(argv[i]);
+    }
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data()))
+        return 1;
+
+    CaptureReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    bench::result().name = "micro_ops";
+    bench::result().jsonPath = jsonPath;
+    bench::result().figures.push_back(reporter.takeFigure());
+    return bench::finish();
+}

@@ -50,17 +50,21 @@ walkCycles(bool pmemTables, bool random)
         as->memRead(cpu, va + page * 4096 + (page % 512) * 8, 8,
                     mem::Pattern::Rand);
     }
-    return as->perf().avgWalkCycles();
+    const double cycles = as->perf().avgWalkCycles();
+    record(system);
+    return cycles;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    std::printf("# Table II: average page-walk cycles, 4KB access on a "
-                "mapped file (scaled 512MB)\n");
-    std::printf("# paper: seq 28/103, rand 111/821 (DRAM/PMem tables)\n");
+    init(argc, argv, "table2_pagewalk");
+    note("Table II: average page-walk cycles, 4KB access on a "
+         "mapped file (scaled 512MB)");
+    note("paper: seq 28/103, rand 111/821 (DRAM/PMem tables)");
+    setSeed(23); // Rng(23) drives the random pattern
 
     std::vector<std::string> xs = {"seq read", "rand read"};
     std::vector<Series> series(2);
@@ -72,5 +76,5 @@ main()
     }
     printFigure("Table II: avg page-walk cycles", "pattern", xs, series,
                 "%12.0f");
-    return 0;
+    return finish();
 }

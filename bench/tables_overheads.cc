@@ -60,6 +60,17 @@ storageOverhead()
                 "(paper: ~0.2%% per 2 MB + interior)\n",
                 100.0 * static_cast<double>(pmemBytes)
                     / static_cast<double>(totalBytes));
+
+    FigureData fig;
+    fig.title = "Storage overhead (MB)";
+    fig.xLabel = "store";
+    fig.xs = {"corpus", "pmem tables", "dram tables"};
+    fig.series = {Series{"MB",
+                         {static_cast<double>(totalBytes) / 1e6,
+                          static_cast<double>(pmemBytes) / 1e6,
+                          static_cast<double>(dramBytes) / 1e6}}};
+    result().figures.push_back(std::move(fig));
+    record(system);
 }
 
 double
@@ -78,6 +89,7 @@ appendLatencyUs(bool daxvm, std::uint64_t appendBytes)
     std::vector<std::unique_ptr<sim::Task>> tasks;
     tasks.push_back(std::move(append));
     const sim::Time elapsed = runWorkers(system, std::move(tasks));
+    record(system);
     return static_cast<double>(elapsed) / 1e3 / 200.0;
 }
 
@@ -88,6 +100,11 @@ constructionOverhead()
                 "(Section V-B) ==\n");
     std::printf("%-12s %14s %14s %12s\n", "append", "no-tables(us)",
                 "daxvm(us)", "overhead");
+    FigureData fig;
+    fig.title = "File-table construction overhead on appends";
+    fig.xLabel = "append";
+    fig.series = {Series{"no-tables(us)", {}}, Series{"daxvm(us)", {}},
+                  Series{"overhead%", {}}};
     for (const std::uint64_t size :
          {8192ULL, 32768ULL, 262144ULL, 1048576ULL, 4194304ULL}) {
         const double base = appendLatencyUs(false, size);
@@ -95,17 +112,23 @@ constructionOverhead()
         std::printf("%-12s %14.1f %14.1f %11.1f%%\n",
                     sizeLabel(size).c_str(), base, with,
                     100.0 * (with - base) / base);
+        fig.xs.push_back(sizeLabel(size));
+        fig.series[0].values.push_back(base);
+        fig.series[1].values.push_back(with);
+        fig.series[2].values.push_back(100.0 * (with - base) / base);
     }
     std::printf("# paper: <=10%% at 32KB (persistent tables), ~0 for "
                 "volatile, amortized by 256KB\n");
+    result().figures.push_back(std::move(fig));
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    init(argc, argv, "tables_overheads");
     storageOverhead();
     constructionOverhead();
-    return 0;
+    return finish();
 }

@@ -1,0 +1,361 @@
+#!/usr/bin/env python3
+"""Aggregate, validate and regression-diff DaxVM bench results.
+
+Every bench binary emits a BenchResult JSON (schema
+``daxvm-bench-result-v1``, see docs/metrics.md) when run with
+``--json PATH``. This tool, stdlib-only, provides:
+
+  aggregate DIR -o OUT   bundle all per-bench JSONs in DIR into one
+                         aggregate file (schema daxvm-bench-aggregate-v1)
+  validate FILE...       schema-check BenchResult or aggregate files
+  diff OLD NEW           compare two aggregates figure-by-figure and
+                         fail (exit 1) on regressions past --threshold
+  selftest               exercise diff on synthetic data (a clean pair
+                         must pass, a 20% regression must be caught)
+
+Regression direction is inferred from the figure title: a title
+containing "lower is better" treats increases as regressions, "higher
+is better" (or a plain throughput figure) treats decreases as
+regressions. Figures whose title carries no marker are reported but
+never gate. The micro_ops bench measures host wall-clock time and is
+always informational only.
+"""
+
+import argparse
+import json
+import math
+import os
+import sys
+
+RESULT_SCHEMA = "daxvm-bench-result-v1"
+AGGREGATE_SCHEMA = "daxvm-bench-aggregate-v1"
+DEFAULT_THRESHOLD = 10.0  # percent
+# Host-time benches: never gate on them.
+WALL_CLOCK_BENCHES = {"micro_ops"}
+
+
+def fail(msg):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    return 1
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+# ----------------------------------------------------------------- validate
+
+
+def validate_result(doc, name):
+    """Return a list of problems with one BenchResult document."""
+    problems = []
+
+    def need(key, types):
+        if key not in doc:
+            problems.append(f"{name}: missing '{key}'")
+            return None
+        if not isinstance(doc[key], types):
+            problems.append(f"{name}: '{key}' has wrong type")
+            return None
+        return doc[key]
+
+    if doc.get("schema") != RESULT_SCHEMA:
+        problems.append(
+            f"{name}: schema is {doc.get('schema')!r}, want {RESULT_SCHEMA!r}")
+    need("bench", str)
+    need("seed", int)
+    need("notes", list)
+    need("config", dict)
+    need("systems_recorded", int)
+    figures = need("figures", list)
+    for i, fig in enumerate(figures or []):
+        where = f"{name}: figures[{i}]"
+        if not isinstance(fig, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for key in ("title", "x_label"):
+            if not isinstance(fig.get(key), str):
+                problems.append(f"{where}.{key} missing or not a string")
+        xs = fig.get("xs")
+        if not isinstance(xs, list):
+            problems.append(f"{where}.xs missing or not a list")
+            xs = []
+        series = fig.get("series")
+        if not isinstance(series, list):
+            problems.append(f"{where}.series missing or not a list")
+            series = []
+        for j, s in enumerate(series):
+            if not isinstance(s, dict) or not isinstance(s.get("name"), str):
+                problems.append(f"{where}.series[{j}] malformed")
+                continue
+            values = s.get("values")
+            if not isinstance(values, list):
+                problems.append(f"{where}.series[{j}].values missing")
+            elif len(values) != len(xs):
+                problems.append(
+                    f"{where}.series[{j}] has {len(values)} values "
+                    f"for {len(xs)} xs")
+            else:
+                for v in values:
+                    if not isinstance(v, (int, float)) or (
+                            isinstance(v, float)
+                            and not math.isfinite(v)):
+                        problems.append(
+                            f"{where}.series[{j}] has non-finite value")
+                        break
+    metrics = need("metrics", dict)
+    if metrics is not None:
+        for key in ("counters", "gauges", "histograms"):
+            if not isinstance(metrics.get(key), dict):
+                problems.append(f"{name}: metrics.{key} missing")
+    return problems
+
+
+def validate_doc(doc, name):
+    if doc.get("schema") == AGGREGATE_SCHEMA:
+        problems = []
+        results = doc.get("results")
+        if not isinstance(results, dict) or not results:
+            return [f"{name}: aggregate has no results"]
+        for bench, sub in sorted(results.items()):
+            problems += validate_result(sub, f"{name}:{bench}")
+        return problems
+    return validate_result(doc, name)
+
+
+def cmd_validate(args):
+    problems = []
+    for path in args.files:
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            problems.append(f"{path}: unreadable: {e}")
+            continue
+        problems += validate_doc(doc, os.path.basename(path))
+    for p in problems:
+        print(f"bench_diff: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"validate: {len(args.files)} file(s) OK")
+    return 0
+
+
+# ---------------------------------------------------------------- aggregate
+
+
+def cmd_aggregate(args):
+    results = {}
+    names = sorted(n for n in os.listdir(args.dir) if n.endswith(".json"))
+    if not names:
+        return fail(f"aggregate: no .json files in {args.dir}")
+    for name in names:
+        path = os.path.join(args.dir, name)
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            return fail(f"aggregate: {path}: {e}")
+        if doc.get("schema") != RESULT_SCHEMA:
+            return fail(f"aggregate: {path}: not a {RESULT_SCHEMA}")
+        bench = doc.get("bench") or os.path.splitext(name)[0]
+        if bench in results:
+            return fail(f"aggregate: duplicate bench name {bench!r}")
+        results[bench] = doc
+    out = {"schema": AGGREGATE_SCHEMA, "results": results}
+    with open(args.output, "w") as f:
+        json.dump(out, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"aggregate: wrote {args.output} ({len(results)} benches)")
+    return 0
+
+
+# --------------------------------------------------------------------- diff
+
+
+def direction(title):
+    """+1 = higher is better, -1 = lower is better, 0 = don't gate."""
+    t = title.lower()
+    if "lower is better" in t:
+        return -1
+    if "higher is better" in t:
+        return +1
+    return 0
+
+
+def iter_points(doc):
+    """Yield (figure_title, series_name, x, value) for one BenchResult."""
+    for fig in doc.get("figures", []):
+        for s in fig.get("series", []):
+            for x, v in zip(fig.get("xs", []), s.get("values", [])):
+                yield fig["title"], s["name"], x, v
+
+
+def diff_results(old, new, threshold):
+    """Compare two aggregates; return (regressions, report_lines)."""
+    regressions = []
+    lines = []
+    old_results = old.get("results", {})
+    new_results = new.get("results", {})
+    for bench in sorted(set(old_results) | set(new_results)):
+        if bench not in new_results:
+            lines.append(f"{bench}: MISSING from new results")
+            regressions.append(f"{bench}: bench disappeared")
+            continue
+        if bench not in old_results:
+            lines.append(f"{bench}: new bench (no baseline)")
+            continue
+        old_points = {(t, s, x): v
+                      for t, s, x, v in iter_points(old_results[bench])}
+        gate = bench not in WALL_CLOCK_BENCHES
+        for t, s, x, v in iter_points(new_results[bench]):
+            key = (t, s, x)
+            if key not in old_points:
+                continue
+            base = old_points[key]
+            if base == 0:
+                continue
+            pct = 100.0 * (v - base) / abs(base)
+            sign = direction(t)
+            regressed = (gate and sign != 0 and abs(pct) > threshold
+                         and (pct < 0) == (sign > 0))
+            marker = " REGRESSION" if regressed else ""
+            if abs(pct) > threshold:
+                lines.append(
+                    f"{bench}: {t} [{s} @ {x}] "
+                    f"{base:.3f} -> {v:.3f} ({pct:+.1f}%){marker}")
+            if regressed:
+                regressions.append(
+                    f"{bench}: {t} [{s} @ {x}] {pct:+.1f}%")
+    return regressions, lines
+
+
+def cmd_diff(args):
+    try:
+        old = load(args.old)
+        new = load(args.new)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"diff: {e}")
+    for doc, path in ((old, args.old), (new, args.new)):
+        if doc.get("schema") != AGGREGATE_SCHEMA:
+            return fail(f"diff: {path} is not a {AGGREGATE_SCHEMA}")
+    regressions, lines = diff_results(old, new, args.threshold)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"diff: {len(regressions)} regression(s) past "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"diff: no regressions past {args.threshold:.1f}%")
+    return 0
+
+
+# ----------------------------------------------------------------- selftest
+
+
+def synthetic(values):
+    """A minimal aggregate with one throughput and one latency figure."""
+    thr, lat = values
+    return {
+        "schema": AGGREGATE_SCHEMA,
+        "results": {
+            "fake_bench": {
+                "schema": RESULT_SCHEMA,
+                "bench": "fake_bench",
+                "seed": 0,
+                "notes": [],
+                "config": {},
+                "systems_recorded": 1,
+                "figures": [
+                    {
+                        "title": "ops/sec (higher is better)",
+                        "x_label": "threads",
+                        "xs": ["1", "2"],
+                        "series": [{"name": "daxvm", "values": thr}],
+                    },
+                    {
+                        "title": "latency us (lower is better)",
+                        "x_label": "size",
+                        "xs": ["4K", "16K"],
+                        "series": [{"name": "mmap", "values": lat}],
+                    },
+                ],
+                "metrics": {"counters": {}, "gauges": {},
+                            "histograms": {}},
+            }
+        },
+    }
+
+
+def cmd_selftest(args):
+    del args
+    base = synthetic(([100.0, 200.0], [5.0, 9.0]))
+    checks = []
+
+    problems = validate_doc(base, "selftest-base")
+    checks.append(("validate clean aggregate", not problems))
+
+    # Identical results: no regressions.
+    regs, _ = diff_results(base, synthetic(([100.0, 200.0], [5.0, 9.0])),
+                           DEFAULT_THRESHOLD)
+    checks.append(("identical pair passes", not regs))
+
+    # 20% throughput drop must be caught.
+    regs, _ = diff_results(base, synthetic(([80.0, 200.0], [5.0, 9.0])),
+                           DEFAULT_THRESHOLD)
+    checks.append(("20% throughput drop caught", len(regs) == 1))
+
+    # 20% latency increase must be caught.
+    regs, _ = diff_results(base, synthetic(([100.0, 200.0], [6.0, 9.0])),
+                           DEFAULT_THRESHOLD)
+    checks.append(("20% latency increase caught", len(regs) == 1))
+
+    # 20% improvement in both directions must NOT be flagged.
+    regs, _ = diff_results(base, synthetic(([120.0, 240.0], [4.0, 7.0])),
+                           DEFAULT_THRESHOLD)
+    checks.append(("improvements pass", not regs))
+
+    # Broken documents must fail validation.
+    broken = synthetic(([1.0, 2.0], [3.0, 4.0]))
+    broken["results"]["fake_bench"]["figures"][0]["series"][0][
+        "values"] = [1.0]  # length mismatch vs xs
+    checks.append(("length mismatch rejected",
+                   bool(validate_doc(broken, "selftest-broken"))))
+
+    ok = True
+    for name, passed in checks:
+        print(f"selftest: {'PASS' if passed else 'FAIL'}: {name}")
+        ok = ok and passed
+    return 0 if ok else 1
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("aggregate", help="bundle per-bench JSONs")
+    p.add_argument("dir")
+    p.add_argument("-o", "--output", default="BENCH_results.json")
+    p.set_defaults(func=cmd_aggregate)
+
+    p = sub.add_parser("validate", help="schema-check result files")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("diff", help="compare two aggregates")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                   help="regression threshold in percent (default 10)")
+    p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("selftest", help="verify diff/validate logic")
+    p.set_defaults(func=cmd_selftest)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

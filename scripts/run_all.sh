@@ -1,12 +1,60 @@
 #!/bin/sh
 # Build, test, and regenerate every paper figure/table.
-set -e
+#
+# Each bench also writes a machine-readable BenchResult (--json) into
+# $BENCH_OUT (default bench_results/); the per-bench files are
+# aggregated into BENCH_results.json and schema-checked with
+# scripts/bench_diff.py. Compare two aggregates for regressions with:
+#   python3 scripts/bench_diff.py diff OLD.json NEW.json
+#
+# Note on error handling: `cmd | tee log` exits with tee's status, so
+# `set -e` never sees cmd failing. Every stage below redirects to its
+# log file and cats it afterwards instead of piping, and the script
+# exits nonzero on the first failing stage or bench.
+set -eu
 cd "$(dirname "$0")/.."
+
+OUT="${BENCH_OUT:-bench_results}"
+mkdir -p "$OUT"
+
 cmake -B build -G Ninja
 cmake --build build
-ctest --test-dir build 2>&1 | tee test_output.txt
+
+ctest --test-dir build > test_output.txt 2>&1 && rc=0 || rc=$?
+cat test_output.txt
+if [ "$rc" -ne 0 ]; then
+    echo "FAILED: ctest (exit $rc)" >&2
+    exit "$rc"
+fi
+
+: > bench_output.txt
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
-    echo "===== $(basename "$b") ====="
-    "$b"
-done 2>&1 | tee bench_output.txt
+    name=$(basename "$b")
+    echo "===== $name ====="
+    echo "===== $name =====" >> bench_output.txt
+    "$b" --json "$OUT/$name.json" > "$OUT/$name.out" 2>&1 && rc=0 || rc=$?
+    cat "$OUT/$name.out"
+    cat "$OUT/$name.out" >> bench_output.txt
+    if [ "$rc" -ne 0 ]; then
+        echo "FAILED: $name (exit $rc)" >&2
+        exit "$rc"
+    fi
+done
+
+# The ad-hoc driver feeds the same result pipeline: include one quick
+# run so the aggregate exercises it.
+echo "===== daxsim (sweep) ====="
+build/tools/daxsim --workload sweep --threads 4 \
+    --json "$OUT/daxsim_sweep.json" > "$OUT/daxsim_sweep.out" 2>&1 \
+    && rc=0 || rc=$?
+cat "$OUT/daxsim_sweep.out"
+cat "$OUT/daxsim_sweep.out" >> bench_output.txt
+if [ "$rc" -ne 0 ]; then
+    echo "FAILED: daxsim (exit $rc)" >&2
+    exit "$rc"
+fi
+
+python3 scripts/bench_diff.py aggregate "$OUT" -o BENCH_results.json
+python3 scripts/bench_diff.py validate BENCH_results.json
+echo "wrote BENCH_results.json ($(ls "$OUT"/*.json | wc -l) bench results)"

@@ -10,12 +10,25 @@
 
 namespace dax::arch {
 
-ShootdownHub::ShootdownHub(const sim::CostModel &cm, unsigned nCores)
+ShootdownHub::ShootdownHub(const sim::CostModel &cm, unsigned nCores,
+                           sim::MetricsRegistry *metrics)
     : cm_(cm), nCores_(nCores), mmus_(nCores, nullptr),
-      pendingDisruption_(nCores, 0)
+      pendingDisruption_(nCores, 0),
+      ownedMetrics_(metrics != nullptr
+                        ? nullptr
+                        : std::make_unique<sim::MetricsRegistry>(nCores)),
+      metrics_(metrics != nullptr ? metrics : ownedMetrics_.get()),
+      stats_(*metrics_)
 {
     if (nCores > 64)
         throw std::invalid_argument("CoreMask supports at most 64 cores");
+    sim::MetricsScope scope(*metrics_, "tlb");
+    ipis_ = scope.counter("ipis");
+    ipiTargets_ = scope.counter("ipi_targets");
+    invlpg_ = scope.counter("invlpg");
+    fullFlushes_ = scope.counter("full_flushes");
+    disruptionNs_ = scope.counter("disruption_ns");
+    shootdownNs_ = scope.histogram("shootdown_ns");
 }
 
 void
@@ -53,6 +66,7 @@ ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
                              const std::vector<std::uint64_t> &pages)
 {
     const int self = cpu.coreId();
+    const sim::Time begin = cpu.now();
     const bool fullFlush = pages.size() > cm_.tlbFlushThreshold;
 
     // Local invalidation.
@@ -60,13 +74,13 @@ ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
     if (fullFlush) {
         local->tlb().flushAsid(asid);
         cpu.advance(cm_.fullFlushLocal);
-        stats_.inc("tlb.full_flushes");
+        fullFlushes_.addAt(self);
     } else {
         for (const auto va : pages) {
             local->tlb().invalidatePage(va, asid);
             cpu.advance(cm_.invlpg);
         }
-        stats_.inc("tlb.invlpg", pages.size());
+        invlpg_.addAt(self, pages.size());
     }
 
     // Remote shootdown: one IPI broadcast regardless of page count
@@ -74,8 +88,8 @@ ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
     const unsigned remotes = remoteCount(targets, self);
     if (remotes > 0) {
         cpu.advance(cm_.shootdownInitiator(remotes));
-        stats_.inc("tlb.ipis");
-        stats_.inc("tlb.ipi_targets", remotes);
+        ipis_.addAt(self);
+        ipiTargets_.addAt(self, remotes);
         DAX_TRACE(sim::TraceCat::Shootdown, cpu,
                   "%s pages=%zu remotes=%u",
                   fullFlush ? "full-flush" : "invlpg-batch",
@@ -95,21 +109,23 @@ ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
         }
         disturbRemotes(targets, self);
     }
+    shootdownNs_.recordAt(self, cpu.now() - begin);
 }
 
 void
 ShootdownHub::shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid)
 {
     const int self = cpu.coreId();
+    const sim::Time begin = cpu.now();
     mmus_.at(static_cast<unsigned>(self))->tlb().flushAsid(asid);
     cpu.advance(cm_.fullFlushLocal);
-    stats_.inc("tlb.full_flushes");
+    fullFlushes_.addAt(self);
 
     const unsigned remotes = remoteCount(targets, self);
     if (remotes > 0) {
         cpu.advance(cm_.shootdownInitiator(remotes));
-        stats_.inc("tlb.ipis");
-        stats_.inc("tlb.ipi_targets", remotes);
+        ipis_.addAt(self);
+        ipiTargets_.addAt(self, remotes);
         for (unsigned c = 0; c < nCores_; c++) {
             if ((targets & coreBit(static_cast<int>(c))) != 0
                 && static_cast<int>(c) != self) {
@@ -118,6 +134,7 @@ ShootdownHub::shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid)
         }
         disturbRemotes(targets, self);
     }
+    shootdownNs_.recordAt(self, cpu.now() - begin);
 }
 
 void
@@ -127,7 +144,8 @@ ShootdownHub::drainDisruption(sim::Cpu &cpu)
         static_cast<unsigned>(cpu.coreId()));
     if (pending > 0) {
         cpu.advance(pending);
-        stats_.inc("tlb.disruption_ns", pending);
+        disruptionNs_.addAt(cpu.coreId(),
+                            static_cast<std::uint64_t>(pending));
         pending = 0;
     }
 }

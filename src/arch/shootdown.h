@@ -12,11 +12,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "arch/tlb.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
+#include "sim/metrics.h"
 #include "sim/stats.h"
 
 namespace dax::arch {
@@ -33,7 +35,12 @@ coreBit(int core)
 class ShootdownHub
 {
   public:
-    ShootdownHub(const sim::CostModel &cm, unsigned nCores);
+    /**
+     * @param metrics shared telemetry registry; when null (standalone
+     *        tests) the hub owns a private one
+     */
+    ShootdownHub(const sim::CostModel &cm, unsigned nCores,
+                 sim::MetricsRegistry *metrics = nullptr);
 
     /** Register the MMU of a core (once, at system construction). */
     void registerMmu(int core, Mmu *mmu);
@@ -60,6 +67,7 @@ class ShootdownHub
 
     const sim::StatSet &stats() const { return stats_; }
     sim::StatSet &stats() { return stats_; }
+    sim::MetricsRegistry &metricsRegistry() { return *metrics_; }
 
   private:
     unsigned remoteCount(CoreMask targets, int self) const;
@@ -69,7 +77,16 @@ class ShootdownHub
     unsigned nCores_;
     std::vector<Mmu *> mmus_;
     std::vector<sim::Time> pendingDisruption_;
+    std::unique_ptr<sim::MetricsRegistry> ownedMetrics_;
+    sim::MetricsRegistry *metrics_;
     sim::StatSet stats_;
+    /** Typed hot-path instruments (legacy names, see sim/metrics.h). */
+    sim::Counter ipis_;
+    sim::Counter ipiTargets_;
+    sim::Counter invlpg_;
+    sim::Counter fullFlushes_;
+    sim::Counter disruptionNs_;
+    sim::LatencyHistogram shootdownNs_;
 };
 
 } // namespace dax::arch

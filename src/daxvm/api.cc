@@ -24,9 +24,19 @@ forceUnmapTrampoline(void *ctx, sim::Cpu &cpu, fs::Ino ino)
 
 DaxVm::DaxVm(vm::VmManager &vmm, FileTableManager &tables)
     : vmm_(vmm), tables_(tables),
-      unmapper_(vmm.cm().asyncUnmapBatchPages)
+      unmapper_(vmm.cm().asyncUnmapBatchPages),
+      stats_(vmm.metricsRegistry())
 {
     tables_.setForceUnmap(&forceUnmapTrampoline, this);
+    sim::MetricsScope scope(vmm_.metricsRegistry(), "daxvm");
+    counters_.mmap = scope.counter("mmap");
+    counters_.mmapEphemeral = scope.counter("mmap_ephemeral");
+    counters_.munmapDeferred = scope.counter("munmap_deferred");
+    counters_.munmapSync = scope.counter("munmap_sync");
+    counters_.zombieFlushes = scope.counter("zombie_flushes");
+    counters_.zombiePagesFlushed = scope.counter("zombie_pages_flushed");
+    counters_.forcedUnmaps = scope.counter("forced_unmaps");
+    counters_.monitorMigrations = scope.counter("monitor_migrations");
 }
 
 DaxVm::~DaxVm()
@@ -154,7 +164,7 @@ DaxVm::mmap(sim::Cpu &cpu, vm::AddressSpace &as, fs::Ino ino,
         proto.end = va + mapLen;
         vma = &EphemeralAllocator::insert(cpu, as, proto, cm);
         attachRange(cpu, as, *vma, *table, attachWritable);
-        stats_.inc("daxvm.mmap_ephemeral");
+        counters_.mmapEphemeral.addAt(cpu.coreId());
     } else {
         sim::ScopedWriteLock guard(as.mmapSem(), cpu);
         cpu.advance(cm.vmaAlloc);
@@ -163,7 +173,7 @@ DaxVm::mmap(sim::Cpu &cpu, vm::AddressSpace &as, fs::Ino ino,
         proto.end = va + mapLen;
         vma = &as.insertVma(proto);
         attachRange(cpu, as, *vma, *table, attachWritable);
-        stats_.inc("daxvm.mmap");
+        counters_.mmap.addAt(cpu.coreId());
     }
     vmm_.registerMapping(ino, &as, vma->start);
     DAX_TRACE(sim::TraceCat::Daxvm, cpu,
@@ -208,7 +218,7 @@ DaxVm::munmap(sim::Cpu &cpu, vm::AddressSpace &as, std::uint64_t va)
         vma->zombie = true;
         cpu.advance(cm.ephemeralListOp);
         unmapper_.add(as, *vma);
-        stats_.inc("daxvm.munmap_deferred");
+        counters_.munmapDeferred.addAt(cpu.coreId());
         if (unmapper_.needsFlush(as))
             flushZombies(cpu, as);
         return true;
@@ -239,7 +249,7 @@ DaxVm::munmap(sim::Cpu &cpu, vm::AddressSpace &as, std::uint64_t va)
             vmm_.hub().shootdownFull(cpu, as.cpuMask(), as.asid());
         }
     }
-    stats_.inc("daxvm.munmap_sync");
+    counters_.munmapSync.addAt(cpu.coreId());
     return true;
 }
 
@@ -280,8 +290,8 @@ DaxVm::flushZombies(sim::Cpu &cpu, vm::AddressSpace &as)
     DAX_TRACE(sim::TraceCat::Daxvm, cpu,
               "zombie flush: %zu mappings, %llu pages", starts.size(),
               (unsigned long long)pages);
-    stats_.inc("daxvm.zombie_flushes");
-    stats_.inc("daxvm.zombie_pages_flushed", pages);
+    counters_.zombieFlushes.addAt(cpu.coreId());
+    counters_.zombiePagesFlushed.addAt(cpu.coreId(), pages);
 }
 
 void
@@ -297,7 +307,7 @@ DaxVm::forceUnmapFile(sim::Cpu &cpu, fs::Ino ino)
         const std::uint64_t pages = reap(cpu, as, *vma);
         if (pages > 0)
             vmm_.hub().shootdownFull(cpu, as.cpuMask(), as.asid());
-        stats_.inc("daxvm.forced_unmaps");
+        counters_.forcedUnmaps.addAt(cpu.coreId());
     }
 }
 
@@ -326,7 +336,7 @@ DaxVm::pollMonitor(sim::Cpu &cpu, vm::AddressSpace &as, fs::Ino ino)
     }
     tables_.migrateToDram(cpu, ino);
     remapToMirror(cpu, ino);
-    stats_.inc("daxvm.monitor_migrations");
+    counters_.monitorMigrations.addAt(cpu.coreId());
     return true;
 }
 

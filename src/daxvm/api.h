@@ -19,6 +19,7 @@
 
 #include "daxvm/async_unmap.h"
 #include "daxvm/file_table.h"
+#include "sim/metrics.h"
 #include "sim/stats.h"
 #include "vm/address_space.h"
 #include "vm/manager.h"
@@ -99,7 +100,20 @@ class DaxVm
     vm::VmManager &vmm_;
     FileTableManager &tables_;
     AsyncUnmapper unmapper_;
+    /** View on the VmManager's registry (DaxVm shares its scope). */
     sim::StatSet stats_;
+    /** Typed hot-path instruments (legacy names, see sim/metrics.h). */
+    struct
+    {
+        sim::Counter mmap;
+        sim::Counter mmapEphemeral;
+        sim::Counter munmapDeferred;
+        sim::Counter munmapSync;
+        sim::Counter zombieFlushes;
+        sim::Counter zombiePagesFlushed;
+        sim::Counter forcedUnmaps;
+        sim::Counter monitorMigrations;
+    } counters_;
 
     /** Monitor state: last counter snapshot per address space. */
     struct MonitorSnap

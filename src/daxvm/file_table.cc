@@ -248,6 +248,10 @@ FileTableManager::FileTableManager(fs::FileSystem &fs,
     : fs_(fs), dramFrames_(dramFrames), pmemFrames_(pmemFrames), cm_(cm)
 {
     fs_.addHooks(this);
+    sim::MetricsScope scope(fs_.metricsRegistry(), "daxvm");
+    tableRebuilds_ = scope.counter("table_rebuilds");
+    tableMigrations_ = scope.counter("table_migrations");
+    tablePopulates_ = scope.counter("table_populates");
 }
 
 FileTableManager::~FileTableManager()
@@ -369,7 +373,7 @@ FileTableManager::recoverAll()
             // Torn/stale image (or the file shrank below the
             // volatile-table policy): rebuild and re-seal.
             report.rebuilt++;
-            fs_.stats().inc("daxvm.table_rebuilds");
+            tableRebuilds_.add();
             updateImage(node, persistent);
         }
     }
@@ -417,7 +421,7 @@ FileTableManager::migrateToDram(sim::Cpu &cpu, fs::Ino ino)
     cpu.advance(sim::CostModel::xfer(t.table->bytes(),
                                      cm_.dramWriteBwCore));
     t.useMirror = true;
-    fs_.stats().inc("daxvm.table_migrations");
+    tableMigrations_.addAt(cpu.coreId());
 }
 
 void
@@ -462,7 +466,7 @@ FileTableManager::onBlocksAllocated(sim::Cpu &cpu, fs::Inode &inode,
         t->dramMirror->populate(nullptr, fileBlock, extent,
                                 fs_.blockAddr(0));
     updateImage(inode, t->table->persistent());
-    fs_.stats().inc("daxvm.table_populates");
+    tablePopulates_.addAt(cpu.coreId());
 }
 
 void

@@ -27,6 +27,7 @@
 #include "mem/frame_alloc.h"
 #include "sim/cost_model.h"
 #include "sim/fault.h"
+#include "sim/metrics.h"
 
 namespace dax::daxvm {
 
@@ -246,6 +247,10 @@ class FileTableManager : public fs::FsHooks
     ForceUnmap forceUnmap_ = nullptr;
     void *forceUnmapCtx_ = nullptr;
     sim::FaultPlan *plan_ = nullptr;
+    /** Typed instruments in the file system's registry. */
+    sim::Counter tableRebuilds_;
+    sim::Counter tableMigrations_;
+    sim::Counter tablePopulates_;
     /** ino -> durable image of its persistent table. */
     std::map<fs::Ino, PersistentImage> images_;
 };

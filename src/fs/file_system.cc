@@ -12,10 +12,15 @@ namespace dax::fs {
 
 FileSystem::FileSystem(Personality personality, mem::Device &pmem,
                        std::uint64_t dataBase, std::uint64_t dataBytes,
-                       const sim::CostModel &cm)
+                       const sim::CostModel &cm,
+                       sim::MetricsRegistry *metrics)
     : pmem_(pmem), cm_(cm),
+      ownedMetrics_(metrics != nullptr
+                        ? nullptr
+                        : std::make_unique<sim::MetricsRegistry>()),
+      metrics_(metrics != nullptr ? metrics : ownedMetrics_.get()),
       alloc_(dataBytes / kBlockSize, dataBase),
-      journal_(personality, cm)
+      journal_(personality, cm), stats_(*metrics_)
 {
     if (dataBase % kBlockSize != 0 || dataBytes % kBlockSize != 0)
         throw std::invalid_argument("fs region not block aligned");
@@ -24,6 +29,48 @@ FileSystem::FileSystem(Personality personality, mem::Device &pmem,
     journal_.setResolver([this](Ino ino) -> const Inode * {
         auto it = inodes_.find(ino);
         return it == inodes_.end() ? nullptr : it->second.get();
+    });
+
+    sim::MetricsScope scope(*metrics_, "fs");
+    counters_.creates = scope.counter("creates");
+    counters_.unlinks = scope.counter("unlinks");
+    counters_.prezeroedBlocks = scope.counter("prezeroed_blocks");
+    counters_.zeroedBlocks = scope.counter("zeroed_blocks");
+    counters_.blockAllocs = scope.counter("block_allocs");
+    counters_.blocksFreed = scope.counter("blocks_freed");
+    counters_.writeBytes = scope.counter("write_bytes");
+    counters_.readBytes = scope.counter("read_bytes");
+    counters_.fallocates = scope.counter("fallocates");
+    counters_.truncates = scope.counter("truncates");
+    counters_.fsyncFlushedLines = scope.counter("fsync_flushed_lines");
+    counters_.fsyncs = scope.counter("fsyncs");
+    counters_.recoveries = scope.counter("recoveries");
+    journal_.bindMetrics(*metrics_);
+
+    // Journal and allocator state is sampled at snapshot time; both
+    // members outlive the registry reference held by this collector.
+    auto commits = metrics_->gauge("fs.journal.commits");
+    auto batched = metrics_->gauge("fs.journal.batched_inodes");
+    auto jbd2Wait = metrics_->gauge("fs.journal.jbd2_wait_ns");
+    auto jbd2Held = metrics_->gauge("fs.journal.jbd2_held_ns");
+    auto jbd2Acqs = metrics_->gauge("fs.journal.jbd2_acquisitions");
+    auto freeBlocks = metrics_->gauge("fs.alloc.free_blocks");
+    auto zeroedPool = metrics_->gauge("fs.alloc.zeroed_blocks");
+    auto diverted = metrics_->gauge("fs.alloc.diverted_blocks");
+    auto total = metrics_->gauge("fs.alloc.total_blocks");
+    metrics_->addCollector([this, commits, batched, jbd2Wait, jbd2Held,
+                            jbd2Acqs, freeBlocks, zeroedPool, diverted,
+                            total]() mutable {
+        commits.set(static_cast<double>(journal_.commits()));
+        batched.set(static_cast<double>(journal_.batchedInodes()));
+        const sim::LockStats &jl = journal_.lock().stats();
+        jbd2Wait.set(static_cast<double>(jl.waitNs));
+        jbd2Held.set(static_cast<double>(jl.heldNs));
+        jbd2Acqs.set(static_cast<double>(jl.acquisitions));
+        freeBlocks.set(static_cast<double>(alloc_.freeBlocks()));
+        zeroedPool.set(static_cast<double>(alloc_.zeroedBlocks()));
+        diverted.set(static_cast<double>(alloc_.divertedBlocks()));
+        total.set(static_cast<double>(alloc_.totalBlocks()));
     });
 }
 
@@ -40,7 +87,7 @@ FileSystem::create(sim::Cpu &cpu, const std::string &path)
     inodes_.emplace(ino, std::move(node));
     names_.emplace(path, ino);
     journal_.markDirty(ino);
-    stats_.inc("fs.creates");
+    counters_.creates.addAt(cpu.coreId());
     return ino;
 }
 
@@ -61,7 +108,7 @@ FileSystem::unlink(sim::Cpu &cpu, const std::string &path)
         h->onInodeEvict(node);
     names_.erase(it);
     inodes_.erase(ino);
-    stats_.inc("fs.unlinks");
+    counters_.unlinks.addAt(cpu.coreId());
     return true;
 }
 
@@ -124,14 +171,15 @@ FileSystem::zeroExtents(sim::Cpu &cpu, const std::vector<Extent> &extents,
 {
     for (std::size_t i = 0; i < extents.size(); i++) {
         if (i < alreadyZeroed.size() && alreadyZeroed[i]) {
-            stats_.inc("fs.prezeroed_blocks", extents[i].count);
+            counters_.prezeroedBlocks.addAt(cpu.coreId(),
+                                            extents[i].count);
             continue; // pre-zeroed by the DaxVM daemon
         }
         const Extent &e = extents[i];
         pmem_.zero(alloc_.blockAddr(e.block), e.bytes());
         pmem_.writeKernel(cpu, alloc_.blockAddr(e.block), e.bytes(),
                           mem::WriteMode::NtStore, mem::Pattern::Seq);
-        stats_.inc("fs.zeroed_blocks", e.count);
+        counters_.zeroedBlocks.addAt(cpu.coreId(), e.count);
     }
 }
 
@@ -155,7 +203,7 @@ FileSystem::extendTo(sim::Cpu &cpu, Inode &node, std::uint64_t newBlocks,
     if (got.empty())
         return false; // ENOSPC
     cpu.advance(cm_.blockAllocOp * got.size());
-    stats_.inc("fs.block_allocs", got.size());
+    counters_.blockAllocs.addAt(cpu.coreId(), got.size());
 
     if (zeroPolicy == ZeroPolicy::Synchronous)
         zeroExtents(cpu, got, zeroed);
@@ -217,7 +265,7 @@ FileSystem::freeAll(sim::Cpu &cpu, Inode &node, std::uint64_t fromBlock)
         cpu.advance(cm_.blockAllocOp);
         node.allocatedCount -= e.count;
         alloc_.free(e, cpu.coreId(), cpu.now());
-        stats_.inc("fs.blocks_freed", e.count);
+        counters_.blocksFreed.addAt(cpu.coreId(), e.count);
     }
 }
 
@@ -283,7 +331,7 @@ FileSystem::write(sim::Cpu &cpu, Ino ino, std::uint64_t off, const void *src,
         node.size = end;
         journal_.markDirty(ino);
     }
-    stats_.inc("fs.write_bytes", len);
+    counters_.writeBytes.addAt(cpu.coreId(), len);
     return len;
 }
 
@@ -317,7 +365,7 @@ FileSystem::read(sim::Cpu &cpu, Ino ino, std::uint64_t off, void *dst,
                          seq ? mem::Pattern::Seq : mem::Pattern::Rand);
         done += chunk;
     }
-    stats_.inc("fs.read_bytes", len);
+    counters_.readBytes.addAt(cpu.coreId(), len);
     return len;
 }
 
@@ -340,7 +388,7 @@ FileSystem::fallocate(sim::Cpu &cpu, Ino ino, std::uint64_t off,
         node.size = off + len;
         journal_.markDirty(ino);
     }
-    stats_.inc("fs.fallocates");
+    counters_.fallocates.addAt(cpu.coreId());
     return true;
 }
 
@@ -360,7 +408,7 @@ FileSystem::ftruncate(sim::Cpu &cpu, Ino ino, std::uint64_t newSize)
     // durable image never doubly claims the released blocks.
     if (shrunk)
         journal_.commit(cpu, ino);
-    stats_.inc("fs.truncates");
+    counters_.truncates.addAt(cpu.coreId());
 }
 
 void
@@ -377,10 +425,10 @@ FileSystem::fsync(sim::Cpu &cpu, Ino ino)
     }
     if (lines > 0) {
         cpu.advance(cm_.clwbLine * lines);
-        stats_.inc("fs.fsync_flushed_lines", lines);
+        counters_.fsyncFlushedLines.addAt(cpu.coreId(), lines);
     }
     journal_.commit(cpu, ino);
-    stats_.inc("fs.fsyncs");
+    counters_.fsyncs.addAt(cpu.coreId());
 }
 
 bool
@@ -456,7 +504,7 @@ FileSystem::recover()
     // the committed extents are in use. Blocks that were in flight to
     // the (volatile) prezero daemon come back as plain free blocks.
     report.conflictBlocks = alloc_.rebuildFrom(allocated);
-    stats_.inc("fs.recoveries");
+    counters_.recoveries.add();
     return report;
 }
 

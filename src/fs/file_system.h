@@ -82,9 +82,14 @@ class FileSystem
      * @param dataBase byte offset of the data region within the device
      * @param dataBytes size of the data region
      */
+    /**
+     * @param metrics shared telemetry registry; when null (standalone
+     *        tests) the file system owns a private one
+     */
     FileSystem(Personality personality, mem::Device &pmem,
                std::uint64_t dataBase, std::uint64_t dataBytes,
-               const sim::CostModel &cm);
+               const sim::CostModel &cm,
+               sim::MetricsRegistry *metrics = nullptr);
 
     Personality personality() const { return journal_.personality(); }
 
@@ -193,6 +198,7 @@ class FileSystem
     Journal &journal() { return journal_; }
     mem::Device &device() { return pmem_; }
     sim::StatSet &stats() { return stats_; }
+    sim::MetricsRegistry &metricsRegistry() { return *metrics_; }
 
     void addHooks(FsHooks *hooks) { hooks_.push_back(hooks); }
     void removeHooks(FsHooks *hooks);
@@ -216,6 +222,8 @@ class FileSystem
 
     mem::Device &pmem_;
     const sim::CostModel &cm_;
+    std::unique_ptr<sim::MetricsRegistry> ownedMetrics_;
+    sim::MetricsRegistry *metrics_;
     BlockAllocator alloc_;
     Journal journal_;
     std::map<std::string, Ino> names_;
@@ -223,6 +231,23 @@ class FileSystem
     Ino nextIno_ = 1;
     std::vector<FsHooks *> hooks_;
     sim::StatSet stats_;
+    /** Typed hot-path instruments (legacy names, see sim/metrics.h). */
+    struct
+    {
+        sim::Counter creates;
+        sim::Counter unlinks;
+        sim::Counter prezeroedBlocks;
+        sim::Counter zeroedBlocks;
+        sim::Counter blockAllocs;
+        sim::Counter blocksFreed;
+        sim::Counter writeBytes;
+        sim::Counter readBytes;
+        sim::Counter fallocates;
+        sim::Counter truncates;
+        sim::Counter fsyncFlushedLines;
+        sim::Counter fsyncs;
+        sim::Counter recoveries;
+    } counters_;
 };
 
 } // namespace dax::fs

@@ -49,12 +49,14 @@ Journal::commit(sim::Cpu &cpu, Ino ino)
 {
     if (!isDirty(ino))
         return;
+    const sim::Time begin = cpu.now();
     if (personality_ == Personality::Ext4Dax) {
         sim::ScopedLock guard(lock_, cpu);
         chargeCommit(cpu);
     } else {
         chargeCommit(cpu);
     }
+    commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
     snapshot(ino);
     dirty_.erase(ino);
 }
@@ -62,12 +64,14 @@ Journal::commit(sim::Cpu &cpu, Ino ino)
 void
 Journal::commitErase(sim::Cpu &cpu, Ino ino)
 {
+    const sim::Time begin = cpu.now();
     if (personality_ == Personality::Ext4Dax) {
         sim::ScopedLock guard(lock_, cpu);
         chargeCommit(cpu);
     } else {
         chargeCommit(cpu);
     }
+    commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
     committed_.erase(ino);
     dirty_.erase(ino);
 }
@@ -80,14 +84,18 @@ Journal::commitAll(sim::Cpu &cpu)
     const std::vector<Ino> batch(dirty_.begin(), dirty_.end());
     if (personality_ == Personality::Ext4Dax) {
         // jbd2 group commit: the whole batch rides one transaction.
+        const sim::Time begin = cpu.now();
         sim::ScopedLock guard(lock_, cpu);
         chargeCommit(cpu);
+        commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
         for (const Ino ino : batch)
             snapshot(ino);
         batchedInodes_ += batch.size();
     } else {
         for (const Ino ino : batch) {
+            const sim::Time begin = cpu.now();
             chargeCommit(cpu);
+            commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
             snapshot(ino);
         }
     }

@@ -29,6 +29,7 @@
 #include "sim/engine.h"
 #include "sim/fault.h"
 #include "sim/locks.h"
+#include "sim/metrics.h"
 #include "sim/stats.h"
 
 namespace dax::fs {
@@ -67,6 +68,16 @@ class Journal
 
     /** Observe commit boundaries for crash injection (may be null). */
     void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
+
+    /**
+     * Record per-commit latency (lock wait included) as the
+     * "fs.journal.commit_ns" histogram in @p registry. Optional: an
+     * unbound journal skips the recording.
+     */
+    void bindMetrics(sim::MetricsRegistry &registry)
+    {
+        commitNs_ = registry.histogram("fs.journal.commit_ns");
+    }
 
     /** Record that @p ino has uncommitted metadata. */
     void markDirty(Ino ino) { dirty_.insert(ino); }
@@ -128,6 +139,7 @@ class Journal
     std::map<Ino, InodeRecord> committed_;
     std::uint64_t commits_ = 0;
     std::uint64_t batchedInodes_ = 0;
+    sim::LatencyHistogram commitNs_;
 };
 
 } // namespace dax::fs

@@ -395,6 +395,7 @@ Device::flushRange(Paddr addr, std::uint64_t bytes)
         writeBackLine(l, it->second);
         dirtyLines_.erase(it);
     }
+    flushedLines_.add(lines.size());
     return lines.size();
 }
 
@@ -409,6 +410,7 @@ Device::drain()
     for (const auto &[line, dl] : dirtyLines_)
         writeBackLine(line, dl);
     dirtyLines_.clear();
+    flushedLines_.add(n);
     return n;
 }
 
@@ -417,6 +419,7 @@ Device::crash()
 {
     const std::uint64_t lost = dirtyLines_.size();
     dirtyLines_.clear();
+    crashedLines_.add(lost);
     return lost;
 }
 
@@ -488,6 +491,34 @@ Device::isZero(Paddr addr, std::uint64_t bytes) const
         done += chunk;
     }
     return true;
+}
+
+void
+Device::bindMetrics(sim::MetricsRegistry &registry,
+                    const std::string &prefix)
+{
+    sim::MetricsScope scope(registry, prefix);
+    flushedLines_ = scope.counter("flushed_lines");
+    crashedLines_ = scope.counter("crashed_lines");
+    // Channel/footprint state is tracked by the Resource servers and
+    // the byte store; sample it at snapshot time instead of mirroring
+    // every transfer into a second set of counters.
+    auto readBytes = scope.gauge("read_bytes");
+    auto readTransfers = scope.gauge("read_transfers");
+    auto writeBytes = scope.gauge("write_bytes");
+    auto writeTransfers = scope.gauge("write_transfers");
+    auto volatileLines = scope.gauge("volatile_lines");
+    auto sparsePages = scope.gauge("sparse_pages");
+    registry.addCollector([this, readBytes, readTransfers, writeBytes,
+                           writeTransfers, volatileLines,
+                           sparsePages]() mutable {
+        readBytes.set(static_cast<double>(readRes_.bytesTransferred()));
+        readTransfers.set(static_cast<double>(readRes_.transfers()));
+        writeBytes.set(static_cast<double>(writeRes_.bytesTransferred()));
+        writeTransfers.set(static_cast<double>(writeRes_.transfers()));
+        volatileLines.set(static_cast<double>(this->volatileLines()));
+        sparsePages.set(static_cast<double>(this->sparsePages()));
+    });
 }
 
 } // namespace dax::mem

@@ -31,6 +31,7 @@
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
+#include "sim/metrics.h"
 #include "sim/resource.h"
 #include "sim/time.h"
 
@@ -184,6 +185,16 @@ class Device
     /** Host pages materialized by the sparse store (footprint). */
     std::uint64_t sparsePages() const { return sparse_.size(); }
 
+    /**
+     * Publish this device's accounting under @p prefix (e.g.
+     * "mem.pmem") in @p registry: persistence-event counters update on
+     * the hot path, channel/occupancy gauges are sampled by a
+     * registered collector at snapshot time. The device must outlive
+     * any snapshot taken from @p registry.
+     */
+    void bindMetrics(sim::MetricsRegistry &registry,
+                     const std::string &prefix);
+
   private:
     /** One dirty cache line; @p mask has bit i set when byte i is
      *  cached-dirty (unmasked bytes read from the durable store). */
@@ -223,6 +234,9 @@ class Device
     sim::FaultPlan *plan_ = nullptr;
     sim::Resource readRes_;
     sim::Resource writeRes_;
+    /** Persistence-domain instruments (unbound until bindMetrics). */
+    sim::Counter flushedLines_;
+    sim::Counter crashedLines_;
 };
 
 } // namespace dax::mem

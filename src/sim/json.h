@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Minimal JSON value type with serialization and parsing.
+ *
+ * Exists so the telemetry layer (sim/metrics.h) and the bench result
+ * pipeline can emit and round-trip machine-readable results without an
+ * external dependency. Integers are kept exact (64-bit) rather than
+ * coerced through double, because metric counters routinely exceed
+ * 2^53.
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dax::sim {
+
+class Json
+{
+  public:
+    enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    using Array = std::vector<Json>;
+    /** std::map keeps object keys sorted: serialization is canonical. */
+    using Object = std::map<std::string, Json>;
+
+    Json() : type_(Type::Null) {}
+    Json(std::nullptr_t) : type_(Type::Null) {}
+    Json(bool b) : type_(Type::Bool), bool_(b) {}
+    Json(std::int64_t i) : type_(Type::Int), int_(i) {}
+    Json(int i) : type_(Type::Int), int_(i) {}
+    Json(std::uint64_t u) : type_(Type::Uint), uint_(u) {}
+    Json(unsigned u) : type_(Type::Uint), uint_(u) {}
+    Json(double d) : type_(Type::Double), double_(d) {}
+    Json(const char *s) : type_(Type::String), string_(s) {}
+    Json(std::string s) : type_(Type::String), string_(std::move(s)) {}
+    Json(Array a) : type_(Type::Array), array_(std::move(a)) {}
+    Json(Object o) : type_(Type::Object), object_(std::move(o)) {}
+
+    static Json array() { return Json(Array{}); }
+    static Json object() { return Json(Object{}); }
+
+    Type type() const { return type_; }
+    bool isNull() const { return type_ == Type::Null; }
+    bool isNumber() const
+    {
+        return type_ == Type::Int || type_ == Type::Uint
+            || type_ == Type::Double;
+    }
+    bool isString() const { return type_ == Type::String; }
+    bool isArray() const { return type_ == Type::Array; }
+    bool isObject() const { return type_ == Type::Object; }
+
+    bool asBool() const { return bool_; }
+    std::int64_t asInt() const;
+    std::uint64_t asUint() const;
+    double asDouble() const;
+    const std::string &asString() const { return string_; }
+
+    Array &items() { return array_; }
+    const Array &items() const { return array_; }
+    Object &fields() { return object_; }
+    const Object &fields() const { return object_; }
+
+    /** Array append. */
+    void push(Json v) { array_.push_back(std::move(v)); }
+
+    /** Object member access (creates on mutable access). */
+    Json &operator[](const std::string &key) { return object_[key]; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const Json *find(const std::string &key) const;
+
+    /** Member of type Object/Array present check. */
+    bool has(const std::string &key) const { return find(key) != nullptr; }
+
+    /**
+     * Serialize. @p indent > 0 pretty-prints with that many spaces per
+     * level; 0 emits compact single-line JSON.
+     */
+    std::string dump(int indent = 0) const;
+
+    /**
+     * Parse @p text. @return the value; sets @p error (when non-null)
+     * and returns Null on malformed input.
+     */
+    static Json parse(const std::string &text, std::string *error = nullptr);
+
+  private:
+    void dumpTo(std::string &out, int indent, int depth) const;
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0.0;
+    std::string string_;
+    Array array_;
+    Object object_;
+};
+
+} // namespace dax::sim

@@ -1,0 +1,359 @@
+/**
+ * @file
+ * Metrics registry implementation: interning, snapshots, JSON.
+ */
+#include "sim/metrics.h"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace dax::sim {
+
+// ---------------------------------------------------------------------
+// HistogramData
+// ---------------------------------------------------------------------
+
+unsigned
+HistogramData::bucketOf(std::uint64_t v)
+{
+    return v == 0 ? 0 : static_cast<unsigned>(std::bit_width(v));
+}
+
+std::uint64_t
+HistogramData::bucketUpperBound(unsigned i)
+{
+    if (i == 0)
+        return 0;
+    if (i >= 64)
+        return ~0ULL;
+    return (1ULL << i) - 1;
+}
+
+void
+HistogramData::record(std::uint64_t v)
+{
+    buckets[bucketOf(v)]++;
+    if (count == 0 || v < min)
+        min = v;
+    if (v > max)
+        max = v;
+    count++;
+    sum += v;
+}
+
+void
+HistogramData::merge(const HistogramData &other)
+{
+    if (other.count == 0)
+        return;
+    for (unsigned i = 0; i < kBuckets; i++)
+        buckets[i] += other.buckets[i];
+    if (count == 0 || other.min < min)
+        min = other.min;
+    if (other.max > max)
+        max = other.max;
+    count += other.count;
+    sum += other.sum;
+}
+
+std::uint64_t
+HistogramData::percentile(double p) const
+{
+    if (count == 0)
+        return 0;
+    if (p < 0.0)
+        p = 0.0;
+    if (p > 1.0)
+        p = 1.0;
+    // Rank of the requested quantile, 1-based; p=0 reads the first
+    // recorded value's bucket.
+    const double want = p * static_cast<double>(count);
+    std::uint64_t rank = static_cast<std::uint64_t>(want);
+    if (static_cast<double>(rank) < want || rank == 0)
+        rank++;
+    std::uint64_t seen = 0;
+    for (unsigned i = 0; i < kBuckets; i++) {
+        seen += buckets[i];
+        if (seen >= rank)
+            return bucketUpperBound(i);
+    }
+    return bucketUpperBound(kBuckets - 1);
+}
+
+// ---------------------------------------------------------------------
+// Handles
+// ---------------------------------------------------------------------
+
+HistogramData
+LatencyHistogram::merged() const
+{
+    HistogramData out;
+    for (unsigned i = 0; i < nShards_; i++)
+        out.merge(shards_[i]);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------
+
+MetricsRegistry::Entry &
+MetricsRegistry::intern(const std::string &name, MetricKind kind)
+{
+    auto it = index_.find(name);
+    if (it != index_.end()) {
+        Entry &entry = entries_[it->second];
+        if (entry.kind != kind)
+            throw std::logic_error("metric '" + name
+                                   + "' registered under two kinds");
+        return entry;
+    }
+    entries_.emplace_back();
+    Entry &entry = entries_.back();
+    entry.name = name;
+    entry.kind = kind;
+    switch (kind) {
+    case MetricKind::Counter:
+        entry.slots.assign(shards_, 0);
+        break;
+    case MetricKind::Gauge:
+        break;
+    case MetricKind::Histogram:
+        entry.hists.assign(shards_, HistogramData{});
+        break;
+    }
+    index_.emplace(name, entries_.size() - 1);
+    return entry;
+}
+
+const MetricsRegistry::Entry *
+MetricsRegistry::lookup(const std::string &name) const
+{
+    auto it = index_.find(name);
+    return it == index_.end() ? nullptr : &entries_[it->second];
+}
+
+Counter
+MetricsRegistry::counter(const std::string &name)
+{
+    Entry &entry = intern(name, MetricKind::Counter);
+    return Counter(entry.slots.data(),
+                   static_cast<unsigned>(entry.slots.size()));
+}
+
+Gauge
+MetricsRegistry::gauge(const std::string &name)
+{
+    Entry &entry = intern(name, MetricKind::Gauge);
+    return Gauge(&entry.gauge);
+}
+
+LatencyHistogram
+MetricsRegistry::histogram(const std::string &name)
+{
+    Entry &entry = intern(name, MetricKind::Histogram);
+    return LatencyHistogram(entry.hists.data(),
+                            static_cast<unsigned>(entry.hists.size()));
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &name) const
+{
+    const Entry *entry = lookup(name);
+    if (entry == nullptr || entry->kind != MetricKind::Counter)
+        return 0;
+    std::uint64_t total = 0;
+    for (const auto v : entry->slots)
+        total += v;
+    return total;
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &name) const
+{
+    const Entry *entry = lookup(name);
+    return entry != nullptr && entry->kind == MetricKind::Gauge
+               ? entry->gauge
+               : 0.0;
+}
+
+HistogramData
+MetricsRegistry::histogramValue(const std::string &name) const
+{
+    HistogramData out;
+    const Entry *entry = lookup(name);
+    if (entry == nullptr || entry->kind != MetricKind::Histogram)
+        return out;
+    for (const auto &h : entry->hists)
+        out.merge(h);
+    return out;
+}
+
+void
+MetricsRegistry::collect()
+{
+    for (const auto &fn : collectors_)
+        fn();
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot()
+{
+    collect();
+    return peek();
+}
+
+MetricsSnapshot
+MetricsRegistry::peek() const
+{
+    MetricsSnapshot snap;
+    for (const auto &entry : entries_) {
+        switch (entry.kind) {
+        case MetricKind::Counter: {
+            std::uint64_t total = 0;
+            for (const auto v : entry.slots)
+                total += v;
+            snap.counters.emplace(entry.name, total);
+            break;
+        }
+        case MetricKind::Gauge:
+            snap.gauges.emplace(entry.name, entry.gauge);
+            break;
+        case MetricKind::Histogram: {
+            HistogramData merged;
+            for (const auto &h : entry.hists)
+                merged.merge(h);
+            snap.histograms.emplace(entry.name, merged);
+            break;
+        }
+        }
+    }
+    return snap;
+}
+
+void
+MetricsRegistry::reset()
+{
+    for (auto &entry : entries_) {
+        entry.slots.assign(entry.slots.size(), 0);
+        entry.gauge = 0.0;
+        entry.hists.assign(entry.hists.size(), HistogramData{});
+    }
+}
+
+// ---------------------------------------------------------------------
+// MetricsSnapshot
+// ---------------------------------------------------------------------
+
+void
+MetricsSnapshot::merge(const MetricsSnapshot &other)
+{
+    for (const auto &[name, value] : other.counters)
+        counters[name] += value;
+    for (const auto &[name, value] : other.gauges)
+        gauges[name] += value;
+    for (const auto &[name, hist] : other.histograms)
+        histograms[name].merge(hist);
+}
+
+Json
+MetricsSnapshot::toJson() const
+{
+    Json counterObj = Json::object();
+    for (const auto &[name, value] : counters)
+        counterObj[name] = Json(value);
+
+    Json gaugeObj = Json::object();
+    for (const auto &[name, value] : gauges)
+        gaugeObj[name] = Json(value);
+
+    Json histObj = Json::object();
+    for (const auto &[name, hist] : histograms) {
+        Json h = Json::object();
+        h["count"] = Json(hist.count);
+        h["sum"] = Json(hist.sum);
+        h["min"] = Json(hist.min);
+        h["max"] = Json(hist.max);
+        Json buckets = Json::object();
+        for (unsigned i = 0; i < HistogramData::kBuckets; i++) {
+            if (hist.buckets[i] != 0)
+                buckets[std::to_string(i)] = Json(hist.buckets[i]);
+        }
+        h["buckets"] = std::move(buckets);
+        h["p50"] = Json(hist.percentile(0.50));
+        h["p99"] = Json(hist.percentile(0.99));
+        histObj[name] = std::move(h);
+    }
+
+    Json out = Json::object();
+    out["counters"] = std::move(counterObj);
+    out["gauges"] = std::move(gaugeObj);
+    out["histograms"] = std::move(histObj);
+    return out;
+}
+
+MetricsSnapshot
+MetricsSnapshot::fromJson(const Json &json, std::string *error)
+{
+    MetricsSnapshot snap;
+    if (error != nullptr)
+        error->clear();
+    if (!json.isObject()) {
+        if (error != nullptr)
+            *error = "snapshot: not an object";
+        return snap;
+    }
+    if (const Json *c = json.find("counters"); c != nullptr) {
+        for (const auto &[name, value] : c->fields())
+            snap.counters.emplace(name, value.asUint());
+    }
+    if (const Json *g = json.find("gauges"); g != nullptr) {
+        for (const auto &[name, value] : g->fields())
+            snap.gauges.emplace(name, value.asDouble());
+    }
+    if (const Json *hs = json.find("histograms"); hs != nullptr) {
+        for (const auto &[name, h] : hs->fields()) {
+            HistogramData hist;
+            if (const Json *v = h.find("count"))
+                hist.count = v->asUint();
+            if (const Json *v = h.find("sum"))
+                hist.sum = v->asUint();
+            if (const Json *v = h.find("min"))
+                hist.min = v->asUint();
+            if (const Json *v = h.find("max"))
+                hist.max = v->asUint();
+            if (const Json *buckets = h.find("buckets")) {
+                for (const auto &[idx, n] : buckets->fields()) {
+                    const unsigned i = static_cast<unsigned>(
+                        std::stoul(idx));
+                    if (i < HistogramData::kBuckets)
+                        hist.buckets[i] = n.asUint();
+                    else if (error != nullptr && error->empty())
+                        *error = "histogram bucket out of range: " + idx;
+                }
+            }
+            snap.histograms.emplace(name, hist);
+        }
+    }
+    return snap;
+}
+
+std::string
+MetricsSnapshot::toString() const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : counters)
+        os << name << "=" << value << "\n";
+    for (const auto &[name, value] : gauges)
+        os << name << "=" << value << "\n";
+    for (const auto &[name, hist] : histograms) {
+        os << name << "=count:" << hist.count << " mean:" << hist.mean()
+           << " p50:" << hist.percentile(0.50)
+           << " p99:" << hist.percentile(0.99) << " max:" << hist.max
+           << "\n";
+    }
+    return os.str();
+}
+
+} // namespace dax::sim

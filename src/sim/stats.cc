@@ -1,6 +1,6 @@
 /**
  * @file
- * StatSet implementation.
+ * StatSet legacy facade implementation.
  */
 #include "sim/stats.h"
 
@@ -8,20 +8,55 @@
 
 namespace dax::sim {
 
+StatSet::StatSet()
+    : owned_(std::make_unique<MetricsRegistry>()), registry_(owned_.get())
+{}
+
+StatSet::StatSet(MetricsRegistry &registry) : registry_(&registry) {}
+
+void
+StatSet::inc(const std::string &key, std::uint64_t delta)
+{
+    auto it = handles_.find(key);
+    if (it == handles_.end())
+        it = handles_.emplace(key, registry_->counter(key)).first;
+    it->second.add(delta);
+}
+
+std::uint64_t
+StatSet::get(const std::string &key) const
+{
+    return registry_->counterValue(key);
+}
+
+void
+StatSet::clear()
+{
+    registry_->reset();
+}
+
 void
 StatSet::merge(const StatSet &other)
 {
-    for (const auto &[key, value] : other.counters_)
-        counters_[key] += value;
+    for (const auto &[key, value] : other.all()) {
+        if (value != 0)
+            inc(key, value);
+    }
 }
 
 std::string
 StatSet::toString() const
 {
     std::ostringstream os;
-    for (const auto &[key, value] : counters_)
+    for (const auto &[key, value] : all())
         os << key << "=" << value << "\n";
     return os.str();
+}
+
+std::map<std::string, std::uint64_t>
+StatSet::all() const
+{
+    return registry_->peek().counters;
 }
 
 } // namespace dax::sim

@@ -1,51 +1,66 @@
 /**
  * @file
- * Lightweight named-counter registry used by subsystems to expose
- * event counts (faults, shootdowns, journal commits, ...) to tests and
- * benches without coupling them to each subsystem's internals.
+ * Legacy string-keyed counter facade over the typed metrics registry
+ * (sim/metrics.h).
+ *
+ * StatSet used to be a standalone map<string, uint64>; it is now a
+ * thin view that interns every key as a registry Counter, so the
+ * counter names tests and tools have always used ("vm.faults",
+ * "tlb.ipis", ...) resolve in the unified registry and appear in
+ * System metric snapshots. Hot paths should prefer typed handles
+ * (sim::Counter) interned once at construction; inc()/get() here cache
+ * handles per key, costing one map lookup per call - fine for cold
+ * paths and tests.
  */
 #pragma once
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
+
+#include "sim/metrics.h"
 
 namespace dax::sim {
 
 class StatSet
 {
   public:
+    /** Standalone set backed by a private registry (tests, tools). */
+    StatSet();
+
+    /** View over a shared registry (subsystems inside a System). */
+    explicit StatSet(MetricsRegistry &registry);
+
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
     /** Increment counter @p key by @p delta. */
-    void
-    inc(const std::string &key, std::uint64_t delta = 1)
-    {
-        counters_[key] += delta;
-    }
+    void inc(const std::string &key, std::uint64_t delta = 1);
 
     /** Current value (0 when never incremented). */
-    std::uint64_t
-    get(const std::string &key) const
-    {
-        auto it = counters_.find(key);
-        return it == counters_.end() ? 0 : it->second;
-    }
+    std::uint64_t get(const std::string &key) const;
 
-    /** Reset all counters. */
-    void clear() { counters_.clear(); }
+    /** Reset every value in the underlying registry. */
+    void clear();
 
     /** Accumulate all counters of @p other into this set. */
     void merge(const StatSet &other);
 
-    /** Render as "key=value" lines sorted by key. */
+    /** Render all counters as "key=value" lines sorted by key. */
     std::string toString() const;
 
-    const std::map<std::string, std::uint64_t> &all() const
-    {
-        return counters_;
-    }
+    /** All counters of the underlying registry, by name. */
+    std::map<std::string, std::uint64_t> all() const;
+
+    MetricsRegistry &registry() { return *registry_; }
+    const MetricsRegistry &registry() const { return *registry_; }
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    std::unique_ptr<MetricsRegistry> owned_;
+    MetricsRegistry *registry_;
+    /** Interned handle cache so repeated inc() skips registration. */
+    mutable std::map<std::string, Counter> handles_;
 };
 
 } // namespace dax::sim

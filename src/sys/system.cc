@@ -10,7 +10,7 @@
 namespace dax::sys {
 
 System::System(const SystemConfig &config)
-    : config_(config), engine_(config.cores),
+    : config_(config), metrics_(config.cores), engine_(config.cores),
       pmem_(mem::Kind::Pmem, config.pmemBytes + config.pmemTableBytes,
             config_.cm, config.backing == mem::Backing::None
                             ? mem::Backing::Sparse
@@ -19,16 +19,19 @@ System::System(const SystemConfig &config)
             mem::Backing::Sparse),
       dramMeta_(dram_, 0, config.dramBytes),
       pmemTables_(pmem_, config.pmemBytes, config.pmemTableBytes),
-      hub_(config_.cm, config.cores),
-      fs_(config.personality, pmem_, 0, config.pmemBytes, config_.cm),
+      hub_(config_.cm, config.cores, &metrics_),
+      fs_(config.personality, pmem_, 0, config.pmemBytes, config_.cm,
+          &metrics_),
       vfs_(fs_, config_.cm, config.inodeCacheCapacity)
 {
+    pmem_.bindMetrics(metrics_, "mem.pmem");
+    dram_.bindMetrics(metrics_, "mem.dram");
     for (unsigned c = 0; c < config.cores; c++) {
         mmus_.push_back(std::make_unique<arch::Mmu>(config_.cm));
         hub_.registerMmu(static_cast<int>(c), mmus_.back().get());
     }
     vmm_ = std::make_unique<vm::VmManager>(config_.cm, hub_, fs_,
-                                           dramMeta_, dram_);
+                                           dramMeta_, dram_, &metrics_);
     if (config.daxvm) {
         ftm_ = std::make_unique<daxvm::FileTableManager>(
             fs_, dramMeta_, pmemTables_, config_.cm);
@@ -48,6 +51,20 @@ System::System(const SystemConfig &config)
         }
     }
     latr_ = std::make_unique<latr::Latr>(config_.cm, hub_, config.cores);
+
+    // System-level samples: engine progress and the prezero daemon's
+    // pool depth (the daemon itself may be disabled or absent).
+    auto steps = metrics_.gauge("sim.engine.steps");
+    auto pending = metrics_.gauge("daxvm.prezero.pending_blocks");
+    auto zeroed = metrics_.gauge("daxvm.prezero.zeroed_blocks");
+    metrics_.addCollector([this, steps, pending, zeroed]() mutable {
+        steps.set(static_cast<double>(engine_.steps()));
+        if (prezero_ != nullptr) {
+            pending.set(
+                static_cast<double>(prezero_->pendingBlocks()));
+            zeroed.set(static_cast<double>(prezero_->zeroedBlocks()));
+        }
+    });
 }
 
 System::~System()

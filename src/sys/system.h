@@ -27,6 +27,7 @@
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
+#include "sim/metrics.h"
 #include "vm/address_space.h"
 #include "vm/manager.h"
 
@@ -97,6 +98,16 @@ class System
     const SystemConfig &config() const { return config_; }
     const sim::CostModel &cm() const { return config_.cm; }
 
+    /** The system-wide telemetry registry all subsystems publish to. */
+    sim::MetricsRegistry &metrics() { return metrics_; }
+
+    /**
+     * One rolled-up snapshot of every instrument in the system: runs
+     * the collectors (device channels, lock stats, pool depths, MMU
+     * perf) and returns counters, gauges and histograms by name.
+     */
+    sim::MetricsSnapshot snapshotMetrics() { return metrics_.snapshot(); }
+
     // Lifecycle -----------------------------------------------------------
 
     /** Create a new simulated process (address space). */
@@ -166,6 +177,8 @@ class System
 
   private:
     SystemConfig config_;
+    /** Declared before every subsystem so it outlives them all. */
+    sim::MetricsRegistry metrics_;
     sim::Engine engine_;
     mem::Device pmem_;
     mem::Device dram_;

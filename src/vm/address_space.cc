@@ -30,6 +30,7 @@ AddressSpace::AddressSpace(VmManager &vmm)
                vmm.cm().rwsemReaderAtomics),
       vaBump_(kMmapBase)
 {
+    vmm_.registerSpace(this);
 }
 
 AddressSpace::~AddressSpace()
@@ -38,6 +39,7 @@ AddressSpace::~AddressSpace()
         vmm_.unregisterMapping(vma.ino, this, start);
     for (auto &[start, vma] : ephemeral_.vmas)
         vmm_.unregisterMapping(vma.ino, this, start);
+    vmm_.unregisterSpace(this);
 }
 
 std::uint64_t
@@ -138,7 +140,7 @@ AddressSpace::mmap(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
         Vma *vma = findVma(va);
         populateRange(cpu, *vma, 0, len, /*forWrite=*/false);
     }
-    vmm_.stats().inc("vm.mmap");
+    vmm_.counters().mmap.addAt(cpu.coreId());
     DAX_TRACE(sim::TraceCat::Mmap, cpu,
               "mmap ino=%llu off=0x%llx len=0x%llx -> va=0x%llx",
               (unsigned long long)ino, (unsigned long long)off,
@@ -249,7 +251,7 @@ AddressSpace::munmap(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len)
             vmm_.registerMapping(tail.ino, this, tail.start);
         }
     }
-    vmm_.stats().inc("vm.munmap");
+    vmm_.counters().munmap.addAt(cpu.coreId());
     DAX_TRACE(sim::TraceCat::Mmap, cpu, "munmap va=0x%llx len=0x%llx",
               (unsigned long long)va, (unsigned long long)len);
     return true;
@@ -322,7 +324,7 @@ AddressSpace::mprotect(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
         }
         vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages);
     }
-    vmm_.stats().inc("vm.mprotect");
+    vmm_.counters().mprotect.addAt(cpu.coreId());
     return true;
 }
 
@@ -400,7 +402,7 @@ AddressSpace::fork(sim::Cpu &cpu)
             va = base + span;
         }
     }
-    vmm_.stats().inc("vm.forks");
+    vmm_.counters().forks.addAt(cpu.coreId());
     return child;
 }
 
@@ -436,7 +438,7 @@ AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
             vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages);
         cpu.advance(vmm_.cm().vmaSplit);
         vma->end = zs;
-        vmm_.stats().inc("vm.mremap");
+        vmm_.counters().mremap.addAt(cpu.coreId());
         return vma->start;
     }
 
@@ -452,7 +454,7 @@ AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
         // mapping lands inside it.
         if (vma->end > vaBump_)
             vaBump_ = vma->end;
-        vmm_.stats().inc("vm.mremap");
+        vmm_.counters().mremap.addAt(cpu.coreId());
         return vma->start;
     }
 
@@ -501,7 +503,7 @@ AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
     insertVma(rest);
     vmm_.registerMapping(rest.ino, this, newStart);
     cpu.advance(vmm_.cm().vmaFree);
-    vmm_.stats().inc("vm.mremap_moves");
+    vmm_.counters().mremapMoves.addAt(cpu.coreId());
     return newStart;
 }
 
@@ -514,7 +516,7 @@ AddressSpace::msync(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len)
         return false;
     if (vma->daxvm && (vma->flags & kMapNoMsync) != 0) {
         // nosync mode: msync is a documented no-op (Section IV-D).
-        vmm_.stats().inc("vm.msync_noop");
+        vmm_.counters().msyncNoop.addAt(cpu.coreId());
         return true;
     }
     const std::uint64_t end = std::min(va + len, vma->end);

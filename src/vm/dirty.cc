@@ -17,15 +17,101 @@ const DirtySet VmManager::kNoDirty;
 
 VmManager::VmManager(const sim::CostModel &cm, arch::ShootdownHub &hub,
                      fs::FileSystem &fs, mem::FrameAllocator &dramMeta,
-                     mem::Device &dram)
-    : cm_(cm), hub_(hub), fs_(fs), dramMeta_(dramMeta), dram_(dram)
+                     mem::Device &dram, sim::MetricsRegistry *metrics)
+    : cm_(cm), hub_(hub), fs_(fs), dramMeta_(dramMeta), dram_(dram),
+      ownedMetrics_(metrics != nullptr
+                        ? nullptr
+                        : std::make_unique<sim::MetricsRegistry>()),
+      metrics_(metrics != nullptr ? metrics : ownedMetrics_.get()),
+      stats_(*metrics_)
 {
     fs_.addHooks(this);
+
+    sim::MetricsScope scope(*metrics_, "vm");
+    counters_.mmap = scope.counter("mmap");
+    counters_.munmap = scope.counter("munmap");
+    counters_.mprotect = scope.counter("mprotect");
+    counters_.forks = scope.counter("forks");
+    counters_.mremap = scope.counter("mremap");
+    counters_.mremapMoves = scope.counter("mremap_moves");
+    counters_.msyncNoop = scope.counter("msync_noop");
+    counters_.dirtyTags = scope.counter("dirty_tags");
+    counters_.syncWholeFile = scope.counter("sync_whole_file");
+    counters_.syncFlushedPages = scope.counter("sync_flushed_pages");
+    counters_.syncs = scope.counter("syncs");
+    counters_.truncateZaps = scope.counter("truncate_zaps");
+    counters_.majorFaults = scope.counter("major_faults");
+    counters_.faults = scope.counter("faults");
+    counters_.daxvmWpFaults = scope.counter("daxvm_wp_faults");
+    counters_.wpFaults = scope.counter("wp_faults");
+    counters_.populates = scope.counter("populates");
+    counters_.faultNs = scope.histogram("fault_ns");
+
+    // mmap_sem contention and MMU perf are per-process; the gauges
+    // publish the sum over live address spaces plus everything
+    // deposited by already-destroyed ones (unregisterSpace).
+    auto rdAcq = metrics_->gauge("vm.mmap_sem.read_acquisitions");
+    auto rdWait = metrics_->gauge("vm.mmap_sem.read_wait_ns");
+    auto rdHeld = metrics_->gauge("vm.mmap_sem.read_held_ns");
+    auto wrAcq = metrics_->gauge("vm.mmap_sem.write_acquisitions");
+    auto wrWait = metrics_->gauge("vm.mmap_sem.write_wait_ns");
+    auto wrHeld = metrics_->gauge("vm.mmap_sem.write_held_ns");
+    auto tlbHits = metrics_->gauge("arch.mmu.tlb_hits");
+    auto tlbMisses = metrics_->gauge("arch.mmu.tlb_misses");
+    auto walkNs = metrics_->gauge("arch.mmu.walk_ns");
+    auto execNs = metrics_->gauge("arch.mmu.exec_ns");
+    metrics_->addCollector([this, rdAcq, rdWait, rdHeld, wrAcq, wrWait,
+                            wrHeld, tlbHits, tlbMisses, walkNs,
+                            execNs]() mutable {
+        sim::LockStats rd = retiredSemRead_;
+        sim::LockStats wr = retiredSemWrite_;
+        arch::MmuPerf perf = retiredPerf_;
+        sim::Time exec = retiredExecNs_;
+        for (AddressSpace *as : spaces_) {
+            const sim::LockStats &r = as->mmapSem().readStats();
+            const sim::LockStats &w = as->mmapSem().writeStats();
+            rd.acquisitions += r.acquisitions;
+            rd.waitNs += r.waitNs;
+            rd.heldNs += r.heldNs;
+            wr.acquisitions += w.acquisitions;
+            wr.waitNs += w.waitNs;
+            wr.heldNs += w.heldNs;
+            perf += as->perf();
+            exec += as->execNs();
+        }
+        rdAcq.set(static_cast<double>(rd.acquisitions));
+        rdWait.set(static_cast<double>(rd.waitNs));
+        rdHeld.set(static_cast<double>(rd.heldNs));
+        wrAcq.set(static_cast<double>(wr.acquisitions));
+        wrWait.set(static_cast<double>(wr.waitNs));
+        wrHeld.set(static_cast<double>(wr.heldNs));
+        tlbHits.set(static_cast<double>(perf.tlbHits));
+        tlbMisses.set(static_cast<double>(perf.tlbMisses));
+        walkNs.set(static_cast<double>(perf.walkNs));
+        execNs.set(static_cast<double>(exec));
+    });
 }
 
 VmManager::~VmManager()
 {
     fs_.removeHooks(this);
+}
+
+void
+VmManager::unregisterSpace(AddressSpace *as)
+{
+    if (spaces_.erase(as) == 0)
+        return;
+    const sim::LockStats &r = as->mmapSem().readStats();
+    const sim::LockStats &w = as->mmapSem().writeStats();
+    retiredSemRead_.acquisitions += r.acquisitions;
+    retiredSemRead_.waitNs += r.waitNs;
+    retiredSemRead_.heldNs += r.heldNs;
+    retiredSemWrite_.acquisitions += w.acquisitions;
+    retiredSemWrite_.waitNs += w.waitNs;
+    retiredSemWrite_.heldNs += w.heldNs;
+    retiredPerf_ += as->perf();
+    retiredExecNs_ += as->execNs();
 }
 
 void
@@ -89,7 +175,7 @@ VmManager::markDirty(sim::Cpu &cpu, fs::Ino ino, std::uint64_t startPage,
 {
     cpu.advance(cm_.dirtyTag);
     dirtySetInsert(inodeVm(ino).dirty, startPage, count);
-    stats_.inc("vm.dirty_tags");
+    counters_.dirtyTags.addAt(cpu.coreId());
 }
 
 const DirtySet &
@@ -144,7 +230,7 @@ VmManager::syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
             fs_.device().flushRange(fs_.blockAddr(extent.block),
                                     extent.bytes());
         }
-        stats_.inc("vm.sync_whole_file");
+        counters_.syncWholeFile.addAt(cpu.coreId());
     }
 
     // Flush dirty intervals in range and collect pages to re-protect.
@@ -185,7 +271,7 @@ VmManager::syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
             iv.dirty.emplace(start, s - start);
         if (start + count > e)
             iv.dirty.emplace(e, start + count - e);
-        stats_.inc("vm.sync_flushed_pages", e - s);
+        counters_.syncFlushedPages.addAt(cpu.coreId(), e - s);
     }
 
     // Write-protect flushed pages in every mapping process to restart
@@ -270,7 +356,7 @@ VmManager::syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
     }
 
     fs_.journal().commit(cpu, ino);
-    stats_.inc("vm.syncs");
+    counters_.syncs.addAt(cpu.coreId());
 }
 
 void
@@ -313,7 +399,7 @@ VmManager::onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
         const std::uint64_t zapped = as->zapRange(cpu, *vma, s, e, pages);
         if (zapped > 0)
             hub_.shootdownPages(cpu, as->cpuMask(), as->asid(), pages);
-        stats_.inc("vm.truncate_zaps", zapped);
+        counters_.truncateZaps.addAt(cpu.coreId(), zapped);
     }
 }
 

@@ -131,7 +131,7 @@ AddressSpace::installTranslation(sim::Cpu &cpu, Vma &vma, std::uint64_t va,
     cpu.advance(vmm_.cm().ptPageAlloc * newPages);
     cpu.advance(asHuge ? vmm_.cm().pmdSet : vmm_.cm().pteSet);
     if (trapped)
-        vmm_.stats().inc("vm.major_faults");
+        vmm_.counters().majorFaults.addAt(cpu.coreId());
 
     if (forWrite && tracked)
         makeWritable(cpu, vma, base, asHuge ? 21 : 12);
@@ -141,9 +141,10 @@ AddressSpace::installTranslation(sim::Cpu &cpu, Vma &vma, std::uint64_t va,
 bool
 AddressSpace::handleFault(sim::Cpu &cpu, std::uint64_t va, bool write)
 {
+    const sim::Time faultBegin = cpu.now();
     cpu.advance(vmm_.cm().faultEntry);
     noteCore(cpu.coreId());
-    vmm_.stats().inc("vm.faults");
+    vmm_.counters().faults.addAt(cpu.coreId());
     DAX_TRACE(sim::TraceCat::Fault, cpu, "%s va=0x%llx core=%d",
               write ? "write" : "read", (unsigned long long)va,
               cpu.coreId());
@@ -154,8 +155,13 @@ AddressSpace::handleFault(sim::Cpu &cpu, std::uint64_t va, bool write)
         return false; // SIGSEGV
 
     const arch::WalkResult walk = pt_.lookup(va);
-    if (!walk.present)
-        return installTranslation(cpu, *vma, va, write, /*trapped=*/true);
+    if (!walk.present) {
+        const bool ok =
+            installTranslation(cpu, *vma, va, write, /*trapped=*/true);
+        vmm_.counters().faultNs.recordAt(cpu.coreId(),
+                                         cpu.now() - faultBegin);
+        return ok;
+    }
 
     if (write && !walk.writable) {
         if (vma->daxvm) {
@@ -187,11 +193,15 @@ AddressSpace::handleFault(sim::Cpu &cpu, std::uint64_t va, bool write)
             vmm_.markDirty(cpu, vma->ino, filePage,
                            span / fs::kBlockSize);
             vmm_.hub().mmu(cpu.coreId()).tlb().invalidatePage(va, asid_);
-            vmm_.stats().inc("vm.daxvm_wp_faults");
+            vmm_.counters().daxvmWpFaults.addAt(cpu.coreId());
+            vmm_.counters().faultNs.recordAt(cpu.coreId(),
+                                             cpu.now() - faultBegin);
             return true;
         }
         makeWritable(cpu, *vma, va, walk.pageShift);
-        vmm_.stats().inc("vm.wp_faults");
+        vmm_.counters().wpFaults.addAt(cpu.coreId());
+        vmm_.counters().faultNs.recordAt(cpu.coreId(),
+                                         cpu.now() - faultBegin);
         return true;
     }
 
@@ -225,7 +235,7 @@ AddressSpace::populateRange(sim::Cpu &cpu, Vma &vma, std::uint64_t off,
             now.present ? (1ULL << now.pageShift) : mem::kPageSize;
         va = va / span * span + span;
     }
-    vmm_.stats().inc("vm.populates");
+    vmm_.counters().populates.addAt(cpu.coreId());
 }
 
 } // namespace dax::vm

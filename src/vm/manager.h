@@ -13,12 +13,17 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <set>
 #include <vector>
 
+#include "arch/perf.h"
 #include "arch/shootdown.h"
 #include "fs/file_system.h"
 #include "mem/frame_alloc.h"
 #include "sim/cost_model.h"
+#include "sim/locks.h"
+#include "sim/metrics.h"
 #include "sim/stats.h"
 
 namespace dax::vm {
@@ -31,9 +36,13 @@ using DirtySet = std::map<std::uint64_t, std::uint64_t>;
 class VmManager : public fs::FsHooks
 {
   public:
+    /**
+     * @param metrics shared telemetry registry; when null (standalone
+     *        tests) the manager owns a private one
+     */
     VmManager(const sim::CostModel &cm, arch::ShootdownHub &hub,
               fs::FileSystem &fs, mem::FrameAllocator &dramMeta,
-              mem::Device &dram);
+              mem::Device &dram, sim::MetricsRegistry *metrics = nullptr);
     ~VmManager() override;
 
     // ------------------------------------------------------------------
@@ -93,6 +102,40 @@ class VmManager : public fs::FsHooks
     mem::FrameAllocator &dramMeta() { return dramMeta_; }
     mem::Device &dram() { return dram_; }
     sim::StatSet &stats() { return stats_; }
+    sim::MetricsRegistry &metricsRegistry() { return *metrics_; }
+
+    /** Typed hot-path instruments (legacy names, see sim/metrics.h). */
+    struct VmCounters
+    {
+        sim::Counter mmap;
+        sim::Counter munmap;
+        sim::Counter mprotect;
+        sim::Counter forks;
+        sim::Counter mremap;
+        sim::Counter mremapMoves;
+        sim::Counter msyncNoop;
+        sim::Counter dirtyTags;
+        sim::Counter syncWholeFile;
+        sim::Counter syncFlushedPages;
+        sim::Counter syncs;
+        sim::Counter truncateZaps;
+        sim::Counter majorFaults;
+        sim::Counter faults;
+        sim::Counter daxvmWpFaults;
+        sim::Counter wpFaults;
+        sim::Counter populates;
+        sim::LatencyHistogram faultNs;
+    };
+    VmCounters &counters() { return counters_; }
+
+    /**
+     * Live address-space tracking: AddressSpace registers itself at
+     * construction and deposits its mmap_sem LockStats and MMU perf
+     * counters here at destruction, so the "vm.mmap_sem.*" and
+     * "arch.mmu.*" gauges aggregate across live and retired processes.
+     */
+    void registerSpace(AddressSpace *as) { spaces_.insert(as); }
+    void unregisterSpace(AddressSpace *as);
 
     /** Next ASID for a new address space. */
     arch::Asid nextAsid() { return nextAsid_++; }
@@ -123,10 +166,18 @@ class VmManager : public fs::FsHooks
     fs::FileSystem &fs_;
     mem::FrameAllocator &dramMeta_;
     mem::Device &dram_;
+    std::unique_ptr<sim::MetricsRegistry> ownedMetrics_;
+    sim::MetricsRegistry *metrics_;
     std::map<fs::Ino, InodeVm> inodeVm_;
     arch::Asid nextAsid_ = 1;
     bool hugePages_ = true;
     sim::StatSet stats_;
+    VmCounters counters_;
+    std::set<AddressSpace *> spaces_;
+    sim::LockStats retiredSemRead_;
+    sim::LockStats retiredSemWrite_;
+    arch::MmuPerf retiredPerf_;
+    sim::Time retiredExecNs_ = 0;
 
     static const std::vector<MappingRef> kNoMappings;
     static const DirtySet kNoDirty;

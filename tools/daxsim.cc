@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.h"
 #include "workloads/apache.h"
 #include "workloads/filesweep.h"
 #include "workloads/kvstore.h"
@@ -40,6 +41,7 @@ struct Options
     std::uint64_t pmemGb = 2;
     bool aged = true;
     double churn = 3.0;
+    std::string jsonPath;
 };
 
 void
@@ -56,7 +58,9 @@ usage(const char *argv0)
         "  --ops N              operations for repetitive/ycsb\n"
         "  --pmem-gb N          PMem size (default 2)\n"
         "  --aged 0|1           age the image first (default 1)\n"
-        "  --churn X            aging churn factor (default 3.0)\n",
+        "  --churn X            aging churn factor (default 3.0)\n"
+        "  --json PATH          write a BenchResult JSON "
+        "(schema: docs/metrics.md)\n",
         argv0);
 }
 
@@ -86,13 +90,10 @@ parseInterface(const std::string &name)
 void
 printStats(sys::System &system)
 {
-    std::printf("-- stats --\n%s", system.vmm().stats().toString().c_str());
-    std::printf("%s", system.hub().stats().toString().c_str());
-    std::printf("%s", system.fs().stats().toString().c_str());
-    if (system.dax() != nullptr)
-        std::printf("%s", system.dax()->stats().toString().c_str());
-    std::printf("journal_commits=%llu\n",
-                (unsigned long long)system.fs().journal().commits());
+    // One rolled-up snapshot covers every subsystem (TLB, fs, vm,
+    // daxvm, devices) instead of stitching per-module StatSets.
+    std::printf("-- stats --\n%s",
+                system.snapshotMetrics().toString().c_str());
 }
 
 int
@@ -264,6 +265,8 @@ main(int argc, char **argv)
             opt.aged = std::stoul(value()) != 0;
         else if (arg == "--churn")
             opt.churn = std::stod(value());
+        else if (arg == "--json")
+            opt.jsonPath = value();
         else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
@@ -299,7 +302,11 @@ main(int argc, char **argv)
         rc = runYcsb(system, opt, access);
     else
         usage(argv[0]);
-    if (rc == 0)
-        printStats(system);
-    return rc;
+    if (rc != 0)
+        return rc;
+    printStats(system);
+    bench::result().name = "daxsim_" + opt.workload;
+    bench::result().jsonPath = opt.jsonPath;
+    bench::record(system);
+    return bench::finish();
 }
