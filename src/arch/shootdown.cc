@@ -4,6 +4,7 @@
  */
 #include "arch/shootdown.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "sim/trace.h"
@@ -63,11 +64,18 @@ ShootdownHub::disturbRemotes(CoreMask targets, int self)
 
 void
 ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
-                             const std::vector<std::uint64_t> &pages)
+                             const std::vector<std::uint64_t> &pages,
+                             std::uint64_t totalPages)
 {
     const int self = cpu.coreId();
     const sim::Time begin = cpu.now();
-    const bool fullFlush = pages.size() > cm_.tlbFlushThreshold;
+    // Escalate on the real unmap size: a truncated/coarsened page list
+    // (one entry per DaxVM granule) must not dodge the full flush, or
+    // the INVLPG loop below leaves the untruncated pages stale in the
+    // initiator's own TLB (and every remote one).
+    const std::uint64_t effective =
+        std::max<std::uint64_t>(pages.size(), totalPages);
+    const bool fullFlush = effective > cm_.tlbFlushThreshold;
 
     // Local invalidation.
     Mmu *local = mmus_.at(static_cast<unsigned>(self));
@@ -110,6 +118,8 @@ ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
         disturbRemotes(targets, self);
     }
     shootdownNs_.recordAt(self, cpu.now() - begin);
+    if (checkHook_ != nullptr)
+        checkHook_->onCheck(sim::CheckEvent::ShootdownDone, cpu.now());
 }
 
 void
@@ -135,6 +145,8 @@ ShootdownHub::shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid)
         disturbRemotes(targets, self);
     }
     shootdownNs_.recordAt(self, cpu.now() - begin);
+    if (checkHook_ != nullptr)
+        checkHook_->onCheck(sim::CheckEvent::ShootdownDone, cpu.now());
 }
 
 void

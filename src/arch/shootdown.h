@@ -52,9 +52,17 @@ class ShootdownHub
      * core flushes locally with INVLPG; remote cores get one IPI
      * broadcast. Matches Linux's batched flush: above
      * tlbFlushThreshold pages, full flushes are used instead.
+     *
+     * @param totalPages real number of 4K pages being unmapped when the
+     *        caller truncated or coarsened @p pages (e.g. one base
+     *        address per detached DaxVM granule); the full-flush
+     *        escalation must be driven by this count, not the list
+     *        length, or stale entries survive on every core including
+     *        the initiator. 0 means "pages is exact".
      */
     void shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
-                        const std::vector<std::uint64_t> &pages);
+                        const std::vector<std::uint64_t> &pages,
+                        std::uint64_t totalPages = 0);
 
     /** Full TLB flush on all cores in @p targets (one IPI broadcast). */
     void shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid);
@@ -69,6 +77,9 @@ class ShootdownHub
     sim::StatSet &stats() { return stats_; }
     sim::MetricsRegistry &metricsRegistry() { return *metrics_; }
 
+    /** Invariant-check observer fired after each shootdown. */
+    void setCheckHook(sim::CheckHook *hook) { checkHook_ = hook; }
+
   private:
     unsigned remoteCount(CoreMask targets, int self) const;
     void disturbRemotes(CoreMask targets, int self);
@@ -77,6 +88,7 @@ class ShootdownHub
     unsigned nCores_;
     std::vector<Mmu *> mmus_;
     std::vector<sim::Time> pendingDisruption_;
+    sim::CheckHook *checkHook_ = nullptr;
     std::unique_ptr<sim::MetricsRegistry> ownedMetrics_;
     sim::MetricsRegistry *metrics_;
     sim::StatSet stats_;

@@ -60,6 +60,14 @@ class Tlb
 
     std::uint64_t invalidations() const { return invalidations_; }
 
+    /**
+     * Raw entry arrays for invariant checkers. Unlike lookup() these
+     * never touch LRU state, so scanning them cannot perturb the
+     * simulated replacement behaviour.
+     */
+    const std::vector<TlbEntry> &smallEntries() const { return small_; }
+    const std::vector<TlbEntry> &hugeEntries() const { return huge_; }
+
   private:
     TlbEntry *probeSmall(std::uint64_t va, Asid asid);
     TlbEntry *probeHuge(std::uint64_t va, Asid asid);

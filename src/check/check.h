@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Cross-layer invariant oracle.
+ *
+ * The oracle shadow-validates the simulated machine: at quantum
+ * boundaries and at key events (shootdown completion, munmap, journal
+ * commit, crash/recover, teardown) it runs per-layer Checkers that
+ * re-derive global properties from first principles - TLB contents vs
+ * the live page tables, present PTEs vs the VMA trees, busy-interval
+ * algebra, extent/allocator/journal agreement - and reports any
+ * divergence with metric/trace context.
+ *
+ * Checkers are strictly passive: they never advance a Cpu, never call
+ * Tlb::lookup (which touches LRU state), and never mutate simulated
+ * state, so a checked run produces bit-identical results to an
+ * unchecked one.
+ *
+ * Enable via SystemConfig::checkLevel or DAXVM_CHECK=<level>:
+ *   0  off (default; the hooks cost one null-pointer branch)
+ *   1  strided sweeps (every ~1024 quanta / ~256 events) - bench use
+ *   2  every quantum and every event - test use
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/check_hook.h"
+
+namespace dax::sys {
+class System;
+}
+
+namespace dax::check {
+
+/** One detected invariant breach. */
+struct Violation
+{
+    /** Which checker found it: "tlb", "vm", "sim", "fs". */
+    std::string checker;
+    /** Stable invariant tag, e.g. "tlb.stale-entry". */
+    std::string invariant;
+    /** The hook event that triggered the detecting sweep. */
+    sim::CheckEvent event = sim::CheckEvent::Quantum;
+    /** Virtual time of the triggering event. */
+    sim::Time time = 0;
+    /** Engine quanta stepped when detected (trace context). */
+    std::uint64_t steps = 0;
+    /** Human-readable specifics (addresses, counts, lock names). */
+    std::string message;
+};
+
+class Oracle;
+
+/** One layer's invariant validator. */
+class Checker
+{
+  public:
+    virtual ~Checker() = default;
+
+    /** Stable short name ("tlb", "vm", "sim", "fs"). */
+    virtual const char *name() const = 0;
+
+    /** True when a sweep is worthwhile for @p event. */
+    virtual bool appliesTo(sim::CheckEvent event) const = 0;
+
+    /** Validate; report breaches via Oracle::report(). */
+    virtual void run(Oracle &oracle, sim::CheckEvent event) = 0;
+};
+
+class Oracle final : public sim::CheckHook
+{
+  public:
+    /** @param level check level (see file comment); clamped to >= 1. */
+    Oracle(sys::System &system, int level);
+    ~Oracle() override;
+
+    Oracle(const Oracle &) = delete;
+    Oracle &operator=(const Oracle &) = delete;
+
+    /** Hook entry: throttles per level, then sweeps. */
+    void onCheck(sim::CheckEvent event, sim::Time now) override;
+
+    /**
+     * Run every applicable checker immediately (no throttling).
+     * @return number of violations found by this sweep.
+     */
+    std::size_t runAll(sim::CheckEvent event = sim::CheckEvent::Quantum,
+                      sim::Time now = 0);
+
+    const std::vector<Violation> &violations() const
+    {
+        return violations_;
+    }
+    void clearViolations() { violations_.clear(); }
+
+    int level() const { return level_; }
+    sys::System &system() { return sys_; }
+
+    /**
+     * Abort with a report on the first violation (default on, so a
+     * checked bench cannot silently produce wrong figures). Corruption
+     * tests turn this off and inspect violations() instead.
+     */
+    void setFailFast(bool failFast) { failFast_ = failFast; }
+
+    /** Record a violation (called by checkers during run()). */
+    void report(const char *checker, const char *invariant,
+                std::string message);
+
+    /** All violations rendered as a human-readable report. */
+    std::string reportText() const;
+
+  private:
+    void sweep(sim::CheckEvent event, sim::Time now);
+
+    sys::System &sys_;
+    int level_;
+    bool failFast_ = true;
+    bool sweeping_ = false; ///< re-entrancy guard (hooks fire freely)
+    sim::CheckEvent curEvent_ = sim::CheckEvent::Quantum;
+    sim::Time curTime_ = 0;
+    std::map<sim::CheckEvent, std::uint64_t> eventCounts_;
+    std::vector<std::unique_ptr<Checker>> checkers_;
+    std::vector<Violation> violations_;
+};
+
+// Checker factories (one per layer; see the matching .cc files).
+std::unique_ptr<Checker> makeTlbChecker();
+std::unique_ptr<Checker> makeVmChecker();
+std::unique_ptr<Checker> makeSimChecker();
+std::unique_ptr<Checker> makeFsChecker();
+
+} // namespace dax::check

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Oracle: throttling, dispatch and violation reporting.
+ */
+#include "check/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "sys/system.h"
+
+namespace dax::check {
+
+namespace {
+
+/** Level-1 stride for quantum sweeps (power of two). */
+constexpr std::uint64_t kQuantumStride = 1024;
+/** Level-1 stride for non-quantum events (power of two). */
+constexpr std::uint64_t kEventStride = 256;
+
+} // namespace
+
+Oracle::Oracle(sys::System &system, int level)
+    : sys_(system), level_(level < 1 ? 1 : level)
+{
+    checkers_.push_back(makeTlbChecker());
+    checkers_.push_back(makeVmChecker());
+    checkers_.push_back(makeSimChecker());
+    checkers_.push_back(makeFsChecker());
+}
+
+Oracle::~Oracle() = default;
+
+void
+Oracle::onCheck(sim::CheckEvent event, sim::Time now)
+{
+    if (sweeping_)
+        return; // a checker indirectly re-fired a hook: ignore
+    const std::uint64_t n = eventCounts_[event]++;
+    if (level_ < 2) {
+        // Rare events always sweep; frequent ones are strided so a
+        // checked bench stays within the same order of magnitude.
+        const bool rare = event == sim::CheckEvent::Recover
+                       || event == sim::CheckEvent::Teardown;
+        const std::uint64_t stride =
+            event == sim::CheckEvent::Quantum ? kQuantumStride
+                                              : kEventStride;
+        if (!rare && n % stride != 0)
+            return;
+    }
+    sweep(event, now);
+}
+
+std::size_t
+Oracle::runAll(sim::CheckEvent event, sim::Time now)
+{
+    const std::size_t before = violations_.size();
+    sweep(event, now);
+    return violations_.size() - before;
+}
+
+void
+Oracle::sweep(sim::CheckEvent event, sim::Time now)
+{
+    sweeping_ = true;
+    curEvent_ = event;
+    curTime_ = now;
+    for (auto &checker : checkers_) {
+        if (checker->appliesTo(event))
+            checker->run(*this, event);
+    }
+    sweeping_ = false;
+}
+
+void
+Oracle::report(const char *checker, const char *invariant,
+               std::string message)
+{
+    Violation v;
+    v.checker = checker;
+    v.invariant = invariant;
+    v.event = curEvent_;
+    v.time = curTime_;
+    v.steps = sys_.engine().steps();
+    v.message = std::move(message);
+    violations_.push_back(v);
+    if (failFast_) {
+        const Violation &f = violations_.back();
+        std::fprintf(stderr,
+                     "daxvm-check: INVARIANT VIOLATION [%s] %s\n"
+                     "  at event=%s time=%llu steps=%llu\n"
+                     "  %s\n",
+                     f.checker.c_str(), f.invariant.c_str(),
+                     sim::checkEventName(f.event),
+                     static_cast<unsigned long long>(f.time),
+                     static_cast<unsigned long long>(f.steps),
+                     f.message.c_str());
+        std::abort();
+    }
+}
+
+std::string
+Oracle::reportText() const
+{
+    std::string out;
+    for (const auto &v : violations_) {
+        out += "[" + v.checker + "] " + v.invariant + " at event=";
+        out += sim::checkEventName(v.event);
+        out += " time=" + std::to_string(v.time);
+        out += " steps=" + std::to_string(v.steps);
+        out += ": " + v.message + "\n";
+    }
+    return out;
+}
+
+} // namespace dax::check

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Simulation-layer checker: the queueing models' internal algebra.
+ *
+ *  - BusyIntervals maps stay disjoint (insert() merges, so an overlap
+ *    can only come from corrupted bookkeeping).
+ *  - pruneBefore() horizons are monotone (a regression means a thread
+ *    observed a state snapshot from its own past - exactly the parked-
+ *    daemon wake bug this checker was built to catch).
+ *  - Per-lock conservation: total lock activity (wait + hold) cannot
+ *    exceed contenders x elapsed virtual time. Lock use by engineless
+ *    scratch Cpus (System::makeFile, measurement phases between runs)
+ *    reuses restarted clocks and is exempt: totals are re-baselined
+ *    at every sweep outside an engine run and at the first sweep of
+ *    each run (Engine::runEpoch), so only within-run activity is
+ *    budgeted.
+ */
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "check/check.h"
+#include "sys/system.h"
+
+namespace dax::check {
+
+namespace {
+
+/** Conservation slack for post-run scratch-Cpu measurement phases. */
+constexpr sim::Time kSlackNs = 10'000'000;
+
+/** One lock's checkable surface (rwsems contribute two of each). */
+struct LockView
+{
+    const void *key = nullptr; ///< stable identity for baselines
+    std::string name;
+    std::vector<const sim::BusyIntervals *> busy;
+    std::uint64_t activity = 0; ///< wait + hold, all stat blocks
+};
+
+class SimChecker final : public Checker
+{
+  public:
+    const char *name() const override { return "sim"; }
+
+    bool
+    appliesTo(sim::CheckEvent event) const override
+    {
+        return event == sim::CheckEvent::Quantum
+            || event == sim::CheckEvent::Teardown;
+    }
+
+    void
+    run(Oracle &oracle, sim::CheckEvent event) override
+    {
+        (void)event;
+        sys::System &sys = oracle.system();
+
+        std::vector<LockView> locks;
+        for (vm::AddressSpace *as : sys.vmm().spaces()) {
+            sim::RwSemaphore &sem = as->mmapSem();
+            locks.push_back(
+                {&sem,
+                 sem.name(),
+                 {&sem.writerBusy(), &sem.readerBusy()},
+                 sem.readStats().waitNs + sem.readStats().heldNs
+                     + sem.writeStats().waitNs
+                     + sem.writeStats().heldNs});
+            addMutex(locks, as->ephemeral().lock);
+        }
+        addMutex(locks, sys.fs().journal().lock());
+        addMutex(locks, sys.latr().stateLock());
+
+        // Pass 1: interval algebra; also establishes the latest
+        // activity timestamp used as "elapsed" by pass 2.
+        sim::Time latest = 0;
+        for (const LockView &lv : locks) {
+            for (const sim::BusyIntervals *bi : lv.busy)
+                checkIntervals(oracle, lv.name, *bi, latest);
+        }
+
+        // Pass 2: conservation. Outside a run - or on the first sweep
+        // of a new run - scratch-Cpu activity may have accumulated at
+        // restarted clocks since the last sweep; re-baseline instead
+        // of checking.
+        sim::Engine &engine = sys.engine();
+        if (!engine.running() || engine.runEpoch() != baselineEpoch_) {
+            baselineEpoch_ = engine.runEpoch();
+            for (const LockView &lv : locks)
+                baseline_[lv.key] = lv.activity;
+            return;
+        }
+        for (const LockView &lv : locks)
+            checkConservation(oracle, sys, lv, latest);
+    }
+
+  private:
+    static void
+    addMutex(std::vector<LockView> &locks, const sim::Mutex &m)
+    {
+        locks.push_back({&m,
+                         m.name(),
+                         {&m.busy()},
+                         m.stats().waitNs + m.stats().heldNs});
+    }
+
+    void
+    checkIntervals(Oracle &oracle, const std::string &lockName,
+                   const sim::BusyIntervals &busy, sim::Time &latest)
+    {
+        sim::Time prevEnd = 0;
+        bool first = true;
+        for (const auto &[start, end] : busy.intervals()) {
+            if (end <= start) {
+                oracle.report(
+                    "sim", "sim.busy.empty-interval",
+                    "lock '" + lockName + "' records the empty busy "
+                        + "interval [" + std::to_string(start) + ", "
+                        + std::to_string(end) + ")");
+            }
+            if (!first && start < prevEnd) {
+                oracle.report(
+                    "sim", "sim.busy.overlap",
+                    "lock '" + lockName
+                        + "' has overlapping busy intervals: ["
+                        + std::to_string(start) + ", "
+                        + std::to_string(end)
+                        + ") starts before the previous one ends at "
+                        + std::to_string(prevEnd));
+            }
+            prevEnd = end;
+            first = false;
+            latest = std::max(latest, end);
+        }
+        if (busy.pruneRegressed()) {
+            oracle.report(
+                "sim", "sim.busy.prune-regression",
+                "lock '" + lockName
+                    + "' saw a pruneBefore() horizon go backwards: a "
+                      "thread observed pruned state from its own past "
+                      "(stale wake-up clock?)");
+        }
+        latest = std::max(latest, busy.lastPrune());
+    }
+
+    /**
+     * wait + held summed over a lock's stat blocks must fit inside
+     * contenders x elapsed. Elapsed is the latest virtual timestamp
+     * any actor has reached (thread clocks, plus busy-interval ends
+     * and prune horizons to cover engineless scratch Cpus).
+     */
+    void
+    checkConservation(Oracle &oracle, sys::System &sys,
+                      const LockView &lv, sim::Time latest)
+    {
+        sim::Engine &engine = sys.engine();
+        const auto bit = baseline_.find(lv.key);
+        if (bit == baseline_.end()) {
+            // A lock born mid-run (new address space): its whole
+            // lifetime is in-run, budget from zero.
+            baseline_[lv.key] = 0;
+        }
+        const std::uint64_t base = baseline_[lv.key];
+        if (lv.activity < base)
+            return; // lock stats were reset; skip this sweep
+        const std::uint64_t activity = lv.activity - base;
+
+        const sim::Time elapsed =
+            std::max(engine.maxThreadClock(), latest);
+        const std::uint64_t contenders =
+            std::max<std::uint64_t>(sys.config().cores,
+                                    engine.threadCount());
+        const std::uint64_t limit =
+            contenders * static_cast<std::uint64_t>(elapsed) + kSlackNs;
+        if (activity > limit) {
+            oracle.report(
+                "sim", "sim.lock.conservation",
+                "lock '" + lv.name + "' accumulated "
+                    + std::to_string(activity)
+                    + " ns of wait+hold but only "
+                    + std::to_string(contenders) + " contenders x "
+                    + std::to_string(elapsed)
+                    + " ns elapsed are available");
+        }
+    }
+
+    /** Lock -> wait+hold total as of the last re-baselining sweep. */
+    std::map<const void *, std::uint64_t> baseline_;
+    /** Engine run epoch the baselines belong to. */
+    std::uint64_t baselineEpoch_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<Checker>
+makeSimChecker()
+{
+    return std::make_unique<SimChecker>();
+}
+
+} // namespace dax::check

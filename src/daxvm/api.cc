@@ -250,6 +250,8 @@ DaxVm::munmap(sim::Cpu &cpu, vm::AddressSpace &as, std::uint64_t va)
         }
     }
     counters_.munmapSync.addAt(cpu.coreId());
+    if (vmm_.checkHook() != nullptr)
+        vmm_.checkHook()->onCheck(sim::CheckEvent::Munmap, cpu.now());
     return true;
 }
 

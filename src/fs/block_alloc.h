@@ -118,6 +118,12 @@ class BlockAllocator
     std::uint64_t freeExtents() const { return freeMap_.size(); }
     std::uint64_t largestFreeExtent() const;
 
+    /** Raw free map (start block -> length), for invariant checkers. */
+    const std::map<std::uint64_t, std::uint64_t> &freeMap() const
+    {
+        return freeMap_;
+    }
+
     /**
      * Fraction of free space sitting in 2 MB-aligned fully-free huge
      * chunks - the aging/fragmentation health metric.

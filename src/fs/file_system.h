@@ -185,6 +185,12 @@ class FileSystem
     const Inode &inode(Ino ino) const;
     bool exists(Ino ino) const { return inodes_.count(ino) != 0; }
 
+    /** Live inode table, for invariant checkers. */
+    const std::map<Ino, std::unique_ptr<Inode>> &inodeMap() const
+    {
+        return inodes_;
+    }
+
     /** Physical byte address of @p block. */
     std::uint64_t blockAddr(std::uint64_t block) const
     {

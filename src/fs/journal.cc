@@ -47,18 +47,37 @@ Journal::snapshot(Ino ino)
 void
 Journal::commit(sim::Cpu &cpu, Ino ino)
 {
-    if (!isDirty(ino))
-        return;
-    const sim::Time begin = cpu.now();
     if (personality_ == Personality::Ext4Dax) {
+        // jbd2 has one running transaction shared by every dirty
+        // inode. fsync(ino) forces that whole transaction out before
+        // acking - even when ino itself is clean and the transaction
+        // only carries other inodes' metadata; committing ino alone
+        // would ack durability for an image its own transaction does
+        // not contain.
+        if (dirty_.empty())
+            return;
+        const std::vector<Ino> batch(dirty_.begin(), dirty_.end());
+        const sim::Time begin = cpu.now();
         sim::ScopedLock guard(lock_, cpu);
         chargeCommit(cpu);
+        commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
+        for (const Ino b : batch)
+            snapshot(b);
+        if (batch.size() > 1)
+            batchedInodes_ += batch.size();
+        dirty_.clear();
     } else {
+        // NOVA commits per inode: each log is independent.
+        if (!isDirty(ino))
+            return;
+        const sim::Time begin = cpu.now();
         chargeCommit(cpu);
+        commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
+        snapshot(ino);
+        dirty_.erase(ino);
     }
-    commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
-    snapshot(ino);
-    dirty_.erase(ino);
+    if (checkHook_ != nullptr)
+        checkHook_->onCheck(sim::CheckEvent::JournalCommit, cpu.now());
 }
 
 void
@@ -74,6 +93,8 @@ Journal::commitErase(sim::Cpu &cpu, Ino ino)
     commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
     committed_.erase(ino);
     dirty_.erase(ino);
+    if (checkHook_ != nullptr)
+        checkHook_->onCheck(sim::CheckEvent::JournalCommit, cpu.now());
 }
 
 void
@@ -100,6 +121,8 @@ Journal::commitAll(sim::Cpu &cpu)
         }
     }
     dirty_.clear();
+    if (checkHook_ != nullptr)
+        checkHook_->onCheck(sim::CheckEvent::JournalCommit, cpu.now());
 }
 
 } // namespace dax::fs

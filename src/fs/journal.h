@@ -125,6 +125,9 @@ class Journal
     std::size_t dirtyCount() const { return dirty_.size(); }
     const sim::Mutex &lock() const { return lock_; }
 
+    /** Invariant-check observer fired after each commit. */
+    void setCheckHook(sim::CheckHook *hook) { checkHook_ = hook; }
+
   private:
     /** Charge one commit and fire the matching fault event. */
     void chargeCommit(sim::Cpu &cpu);
@@ -135,6 +138,7 @@ class Journal
     sim::Mutex lock_;
     Resolver resolver_;
     sim::FaultPlan *plan_ = nullptr;
+    sim::CheckHook *checkHook_ = nullptr;
     std::set<Ino> dirty_;
     std::map<Ino, InodeRecord> committed_;
     std::uint64_t commits_ = 0;

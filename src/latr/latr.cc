@@ -4,6 +4,8 @@
  */
 #include "latr/latr.h"
 
+#include <algorithm>
+
 namespace dax::latr {
 
 namespace {
@@ -26,17 +28,29 @@ Latr::Latr(const sim::CostModel &cm, arch::ShootdownHub &hub,
 void
 Latr::lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
                     arch::Asid asid,
-                    const std::vector<std::uint64_t> &pages)
+                    const std::vector<std::uint64_t> &pages,
+                    std::uint64_t totalPages)
 {
     // LATR's shared state is protected by its own lock, which is the
     // contention the paper observed.
     sim::ScopedLock guard(stateLock_, cpu);
     const int self = cpu.coreId();
+    const std::uint64_t effective =
+        std::max<std::uint64_t>(pages.size(), totalPages);
+    // Like the IPI path, a truncated/coarsened page list must escalate
+    // to an asid-wide flush or the pages missing from the list stay
+    // stale on every core.
+    const bool fullFlush = effective > cm_.tlbFlushThreshold;
 
     // Local invalidation is immediate.
-    for (const auto page : pages) {
-        hub_.mmu(self).tlb().invalidatePage(page, asid);
-        cpu.advance(cm_.invlpg);
+    if (fullFlush) {
+        hub_.mmu(self).tlb().flushAsid(asid);
+        cpu.advance(cm_.fullFlushLocal);
+    } else {
+        for (const auto page : pages) {
+            hub_.mmu(self).tlb().invalidatePage(page, asid);
+            cpu.advance(cm_.invlpg);
+        }
     }
 
     for (unsigned c = 0; c < pending_.size(); c++) {
@@ -45,10 +59,16 @@ Latr::lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
             continue;
         }
         cpu.advance(kEnqueuePerCore);
-        for (const auto page : pages)
-            pending_[c].push_back({asid, page});
-        lazyCount_ += pages.size();
+        if (fullFlush) {
+            pending_[c].push_back({asid, kFlushAll});
+        } else {
+            for (const auto page : pages)
+                pending_[c].push_back({asid, page});
+        }
+        lazyCount_ += effective;
     }
+    if (checkHook_ != nullptr)
+        checkHook_->onCheck(sim::CheckEvent::LazyShootdown, cpu.now());
 }
 
 void
@@ -60,10 +80,27 @@ Latr::drain(sim::Cpu &cpu)
     sim::ScopedLock guard(stateLock_, cpu);
     cpu.advance(kSweepBase);
     for (const auto &p : mine) {
+        if (p.page == kFlushAll) {
+            hub_.mmu(cpu.coreId()).tlb().flushAsid(p.asid);
+            cpu.advance(cm_.fullFlushLocal);
+            continue;
+        }
         hub_.mmu(cpu.coreId()).tlb().invalidatePage(p.page, p.asid);
         cpu.advance(kApplyPerPage);
     }
     mine.clear();
+    if (checkHook_ != nullptr)
+        checkHook_->onCheck(sim::CheckEvent::LatrDrain, cpu.now());
+}
+
+bool
+Latr::pendingCovers(int core, arch::Asid asid, std::uint64_t page) const
+{
+    for (const auto &p : pending_.at(static_cast<unsigned>(core))) {
+        if (p.asid == asid && (p.page == kFlushAll || p.page == page))
+            return true;
+    }
+    return false;
 }
 
 bool
@@ -76,11 +113,17 @@ Latr::munmapLazy(sim::Cpu &cpu, vm::AddressSpace &as, std::uint64_t va)
         return false;
     std::vector<std::uint64_t> pages;
     const std::uint64_t start = vma->start;
-    as.zapRange(cpu, *vma, vma->start, vma->end, pages);
+    const std::uint64_t zapped =
+        as.zapRange(cpu, *vma, vma->start, vma->end, pages);
     cpu.advance(cm_.vmaFree);
     as.vmm().unregisterMapping(vma->ino, &as, start);
     as.eraseVma(start);
-    lazyShootdown(cpu, as.cpuMask(), as.asid(), pages);
+    lazyShootdown(cpu, as.cpuMask(), as.asid(), pages, zapped);
+    // LATR only sweeps pending descriptors at scheduling boundaries,
+    // but munmap must be coherent on the initiating core immediately:
+    // a same-quantum access here could otherwise hit a translation
+    // some other core lazily invalidated. Drain synchronously.
+    drain(cpu);
     return true;
 }
 

@@ -28,13 +28,23 @@ class Latr
     Latr(const sim::CostModel &cm, arch::ShootdownHub &hub,
          unsigned nCores);
 
+    /** Sentinel page meaning "flush the whole address space". */
+    static constexpr std::uint64_t kFlushAll = ~0ULL;
+
     /**
      * LATR replacement of the shootdown: record lazy invalidations for
      * every core in @p targets; no IPI.
+     *
+     * @param totalPages real number of 4K pages unmapped when @p pages
+     *        was truncated/coarsened by zapRange (see
+     *        ShootdownHub::shootdownPages); above the flush threshold
+     *        the local TLB is flushed per-asid and remotes get a
+     *        kFlushAll descriptor. 0 means "pages is exact".
      */
     void lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
                        arch::Asid asid,
-                       const std::vector<std::uint64_t> &pages);
+                       const std::vector<std::uint64_t> &pages,
+                       std::uint64_t totalPages = 0);
 
     /**
      * Apply pending invalidations for the calling core (the context
@@ -52,6 +62,20 @@ class Latr
 
     std::uint64_t lazyInvalidations() const { return lazyCount_; }
 
+    /**
+     * True when a lazy invalidation for (@p asid, @p page) is queued at
+     * @p core, i.e. a stale TLB entry there is inside LATR's documented
+     * lazy window. Used by the TLB-coherence checker.
+     */
+    bool pendingCovers(int core, arch::Asid asid,
+                       std::uint64_t page) const;
+
+    /** Shared descriptor-state lock (sim invariant checker). */
+    const sim::Mutex &stateLock() const { return stateLock_; }
+
+    /** Invariant-check observer fired at enqueue and drain. */
+    void setCheckHook(sim::CheckHook *hook) { checkHook_ = hook; }
+
   private:
     struct Pending
     {
@@ -64,6 +88,7 @@ class Latr
     sim::Mutex stateLock_{"latr_state"};
     std::vector<std::vector<Pending>> pending_; // per core
     std::uint64_t lazyCount_ = 0;
+    sim::CheckHook *checkHook_ = nullptr;
 };
 
 } // namespace dax::latr

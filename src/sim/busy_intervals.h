@@ -87,10 +87,22 @@ class BusyIntervals
         set_.emplace(a, b);
     }
 
-    /** Drop intervals ending at or before @p t (min-clock property). */
+    /**
+     * Drop intervals ending at or before @p t (min-clock property).
+     * @param monotone the horizon comes from an engine-driven Cpu, so
+     *        consecutive values must never regress (the invariant
+     *        checker's signal). Engineless scratch Cpus prune by their
+     *        own clocks, which legitimately restart per phase; they
+     *        pass false and are exempt from the monotonicity check.
+     */
     void
-    pruneBefore(Time t)
+    pruneBefore(Time t, bool monotone = true)
     {
+        if (monotone) {
+            if (t < lastPrune_)
+                pruneRegressed_ = true;
+            lastPrune_ = t;
+        }
         auto it = set_.begin();
         while (it != set_.end() && it->second <= t)
             it = set_.erase(it);
@@ -99,8 +111,26 @@ class BusyIntervals
     std::size_t size() const { return set_.size(); }
     bool empty() const { return set_.empty(); }
 
+    /** Raw interval map (start -> end) for invariant checkers. */
+    const std::map<Time, Time> &intervals() const { return set_; }
+
+    /** Largest prune horizon seen (checker: prunes are monotone). */
+    Time lastPrune() const { return lastPrune_; }
+
+    /** True iff some pruneBefore() went backwards in time. */
+    bool pruneRegressed() const { return pruneRegressed_; }
+
+    /**
+     * Insert without merging, so tests can seed an overlapping pair
+     * that the disjointness checker must flag. Never call outside
+     * corruption-injection tests.
+     */
+    void injectRawForTest(Time a, Time b) { set_.emplace(a, b); }
+
   private:
     std::map<Time, Time> set_; ///< start -> end, disjoint
+    Time lastPrune_ = 0;
+    bool pruneRegressed_ = false;
 };
 
 } // namespace dax::sim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Observer interface the invariant oracle (src/check) uses to hook the
+ * simulation at interesting moments. Lower layers hold a nullable
+ * CheckHook pointer and fire events through it; when checking is off
+ * (the default) the pointer stays null and the cost is one branch.
+ *
+ * The hook lives in sim/ so that every layer (arch, vm, fs, daxvm,
+ * latr) can fire events without depending on src/check.
+ */
+#pragma once
+
+#include "sim/time.h"
+
+namespace dax::sim {
+
+/** Moments at which the oracle may shadow-validate the system. */
+enum class CheckEvent {
+    Quantum,       ///< a thread finished one engine quantum
+    ShootdownDone, ///< ShootdownHub completed a shootdown
+    LazyShootdown, ///< LATR enqueued a lazy shootdown
+    LatrDrain,     ///< a core drained its LATR pending queue
+    Munmap,        ///< an address space unmapped a region
+    JournalCommit, ///< the fs journal committed a transaction
+    Recover,       ///< System::recover() finished
+    Teardown,      ///< System is being destroyed (leak sweep)
+};
+
+/** @return stable lowercase name for an event (reports, tests). */
+inline const char *
+checkEventName(CheckEvent e)
+{
+    switch (e) {
+    case CheckEvent::Quantum: return "quantum";
+    case CheckEvent::ShootdownDone: return "shootdown";
+    case CheckEvent::LazyShootdown: return "lazy-shootdown";
+    case CheckEvent::LatrDrain: return "latr-drain";
+    case CheckEvent::Munmap: return "munmap";
+    case CheckEvent::JournalCommit: return "journal-commit";
+    case CheckEvent::Recover: return "recover";
+    case CheckEvent::Teardown: return "teardown";
+    }
+    return "?";
+}
+
+class CheckHook
+{
+  public:
+    virtual ~CheckHook() = default;
+
+    /** Called by instrumented layers; must not mutate simulated state. */
+    virtual void onCheck(CheckEvent event, Time now) = 0;
+};
+
+} // namespace dax::sim

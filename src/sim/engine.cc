@@ -4,6 +4,7 @@
  */
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -59,7 +60,12 @@ Engine::wake(int threadId, Time notBefore)
 {
     auto &t = *threads_.at(threadId);
     assert(t.daemon && "only daemons park/wake");
-    t.cpu.advanceTo(notBefore);
+    // A parked daemon's clock can sit far behind the min clock, and a
+    // waker may pass a stale notBefore (e.g. an enqueue time recorded
+    // before it blocked). Resync to the safe horizon as well so the
+    // daemon can never observe queueing state (busy intervals, lock
+    // holds) that pruneBefore(safeHorizon) already discarded.
+    t.cpu.advanceTo(std::max(notBefore, safeHorizon_));
     t.parked = false;
 }
 
@@ -72,6 +78,14 @@ Engine::park(int threadId)
 Time
 Engine::run()
 {
+    runEpoch_++;
+    running_ = true;
+    // Clear the flag even when a task throws (crash injection).
+    struct Guard
+    {
+        bool &flag;
+        ~Guard() { flag = false; }
+    } guard{running_};
     for (;;) {
         ThreadState *best = nullptr;
         unsigned pendingWorkers = 0;
@@ -94,6 +108,8 @@ Engine::run()
         steps_++;
         safeHorizon_ = best->cpu.now();
         const bool more = best->task->step(best->cpu);
+        if (checkHook_ != nullptr)
+            checkHook_->onCheck(CheckEvent::Quantum, best->cpu.now());
         if (!more) {
             if (best->daemon)
                 best->parked = true; // daemons never terminate, re-park
@@ -114,6 +130,15 @@ Time
 Engine::threadClock(int threadId) const
 {
     return threads_.at(threadId)->cpu.now();
+}
+
+Time
+Engine::maxThreadClock() const
+{
+    Time t = 0;
+    for (const auto &tp : threads_)
+        t = std::max(t, tp->cpu.now());
+    return t;
 }
 
 } // namespace dax::sim

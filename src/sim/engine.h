@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/check_hook.h"
 #include "sim/time.h"
 
 namespace dax::sim {
@@ -149,8 +150,34 @@ class Engine
     /** Clock of a thread (valid after run() too). */
     Time threadClock(int threadId) const;
 
+    /** Number of threads added so far (workers and daemons). */
+    std::size_t threadCount() const { return threads_.size(); }
+
+    /**
+     * Maximum clock over all threads. Unlike safeHorizon() this is an
+     * upper bound on elapsed virtual time: threads ahead of the min
+     * clock (e.g. ones that just blocked on a lock) count.
+     */
+    Time maxThreadClock() const;
+
+    /**
+     * Install an invariant-check observer fired after every quantum
+     * (nullptr disables). Owned by the caller; used by check::Oracle.
+     */
+    void setCheckHook(CheckHook *hook) { checkHook_ = hook; }
+
     /** Total quanta stepped (debug/health metric). */
     std::uint64_t steps() const { return steps_; }
+
+    /** Number of run() invocations so far (checker re-baselining). */
+    std::uint64_t runEpoch() const { return runEpoch_; }
+
+    /**
+     * True while inside run(): all lock/resource activity is engine-
+     * driven, so conservation budgets apply. Outside run(), engineless
+     * scratch Cpus restart clocks per phase and are exempt.
+     */
+    bool running() const { return running_; }
 
     /**
      * Clock of the currently stepping thread at its quantum start: no
@@ -175,7 +202,10 @@ class Engine
     unsigned nextCore_ = 0;
     std::vector<std::unique_ptr<ThreadState>> threads_;
     std::uint64_t steps_ = 0;
+    std::uint64_t runEpoch_ = 0;
+    bool running_ = false;
     Time safeHorizon_ = 0;
+    CheckHook *checkHook_ = nullptr;
 };
 
 } // namespace dax::sim

@@ -55,7 +55,7 @@ class Mutex
     lock(Cpu &cpu)
     {
         const Time requested = cpu.now();
-        busy_.pruneBefore(cpu.pruneHorizon());
+        busy_.pruneBefore(cpu.pruneHorizon(), cpu.engine() != nullptr);
         cpu.advanceTo(busy_.reserveSlot(requested, expectedHold()));
         stats_.acquisitions++;
         stats_.waitNs += cpu.now() - requested;
@@ -82,6 +82,12 @@ class Mutex
 
     const LockStats &stats() const { return stats_; }
     const std::string &name() const { return name_; }
+
+    /** Busy periods, for invariant checkers. */
+    const BusyIntervals &busy() const { return busy_; }
+
+    /** Mutable busy periods for corruption-injection tests only. */
+    BusyIntervals &busyForTest() { return busy_; }
 
   private:
     std::string name_;
@@ -128,7 +134,8 @@ class RwSemaphore
     lockRead(Cpu &cpu)
     {
         const Time requested = cpu.now();
-        writerBusy_.pruneBefore(cpu.pruneHorizon());
+        writerBusy_.pruneBefore(cpu.pruneHorizon(),
+                                cpu.engine() != nullptr);
         cpu.advanceTo(writerBusy_.firstFree(requested));
         cpu.advance(readerAtomics_);
         readStats_.acquisitions++;
@@ -147,8 +154,9 @@ class RwSemaphore
     lockWrite(Cpu &cpu)
     {
         const Time requested = cpu.now();
-        writerBusy_.pruneBefore(cpu.pruneHorizon());
-        readerBusy_.pruneBefore(cpu.pruneHorizon());
+        const bool engineDriven = cpu.engine() != nullptr;
+        writerBusy_.pruneBefore(cpu.pruneHorizon(), engineDriven);
+        readerBusy_.pruneBefore(cpu.pruneHorizon(), engineDriven);
         // Writers wait for both writers and (possibly coalesced)
         // reader occupancy, and reserve a gap sized by the average
         // writer hold (see Mutex::lock).
@@ -189,6 +197,13 @@ class RwSemaphore
     const LockStats &readStats() const { return readStats_; }
     const LockStats &writeStats() const { return writeStats_; }
     const std::string &name() const { return name_; }
+
+    /** Busy periods, for invariant checkers. */
+    const BusyIntervals &writerBusy() const { return writerBusy_; }
+    const BusyIntervals &readerBusy() const { return readerBusy_; }
+
+    /** Mutable busy periods for corruption-injection tests only. */
+    BusyIntervals &writerBusyForTest() { return writerBusy_; }
 
   private:
     std::string name_;

@@ -45,7 +45,7 @@ class Resource
         if (bytes == 0)
             return 0;
         const Time begin = cpu.now();
-        busy_.pruneBefore(cpu.pruneHorizon());
+        busy_.pruneBefore(cpu.pruneHorizon(), cpu.engine() != nullptr);
         const Time devDur = CostModel::xfer(bytes, deviceBw_);
         const Time coreDur = CostModel::xfer(bytes, coreBw);
         const Time start = busy_.reserveSlot(begin, devDur);

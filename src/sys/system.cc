@@ -5,7 +5,10 @@
 #include "sys/system.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <vector>
+
+#include "check/check.h"
 
 namespace dax::sys {
 
@@ -52,6 +55,20 @@ System::System(const SystemConfig &config)
     }
     latr_ = std::make_unique<latr::Latr>(config_.cm, hub_, config.cores);
 
+    int checkLevel = config.checkLevel;
+    if (checkLevel == 0) {
+        if (const char *env = std::getenv("DAXVM_CHECK"))
+            checkLevel = std::atoi(env);
+    }
+    if (checkLevel > 0) {
+        oracle_ = std::make_unique<check::Oracle>(*this, checkLevel);
+        engine_.setCheckHook(oracle_.get());
+        hub_.setCheckHook(oracle_.get());
+        latr_->setCheckHook(oracle_.get());
+        vmm_->setCheckHook(oracle_.get());
+        fs_.journal().setCheckHook(oracle_.get());
+    }
+
     // System-level samples: engine progress and the prezero daemon's
     // pool depth (the daemon itself may be disabled or absent).
     auto steps = metrics_.gauge("sim.engine.steps");
@@ -69,6 +86,18 @@ System::System(const SystemConfig &config)
 
 System::~System()
 {
+    if (oracle_ != nullptr) {
+        // Final leak sweep while every subsystem is still alive, then
+        // detach the hooks so nothing fires into a dead oracle while
+        // members destruct.
+        oracle_->onCheck(sim::CheckEvent::Teardown,
+                         engine_.maxThreadClock());
+        engine_.setCheckHook(nullptr);
+        hub_.setCheckHook(nullptr);
+        latr_->setCheckHook(nullptr);
+        vmm_->setCheckHook(nullptr);
+        fs_.journal().setCheckHook(nullptr);
+    }
     if (prezero_ != nullptr)
         fs_.allocator().setPrezeroSink(nullptr);
 }
@@ -210,6 +239,9 @@ System::recover()
         }
     }
     preCrashZeroed_.clear();
+    if (oracle_ != nullptr)
+        oracle_->onCheck(sim::CheckEvent::Recover,
+                         engine_.maxThreadClock());
     return report;
 }
 

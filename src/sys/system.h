@@ -31,6 +31,10 @@
 #include "vm/address_space.h"
 #include "vm/manager.h"
 
+namespace dax::check {
+class Oracle;
+}
+
 namespace dax::sys {
 
 struct SystemConfig
@@ -51,6 +55,12 @@ struct SystemConfig
     bool prezero = true;
     /** VFS inode cache capacity (0 = unlimited). */
     std::size_t inodeCacheCapacity = 1 << 16;
+    /**
+     * Cross-layer invariant checking (see check/check.h): 0 = off,
+     * 1 = strided sweeps (bench), 2 = every event (tests). When 0,
+     * the DAXVM_CHECK environment variable is consulted instead.
+     */
+    int checkLevel = 0;
     sim::CostModel cm;
 };
 
@@ -95,6 +105,8 @@ class System
     daxvm::FileTableManager *fileTables() { return ftm_.get(); }
     daxvm::PrezeroDaemon *prezeroDaemon() { return prezero_.get(); }
     latr::Latr &latr() { return *latr_; }
+    /** The invariant oracle; null unless checking is enabled. */
+    check::Oracle *oracle() { return oracle_.get(); }
     const SystemConfig &config() const { return config_; }
     const sim::CostModel &cm() const { return config_.cm; }
 
@@ -193,6 +205,8 @@ class System
     std::unique_ptr<daxvm::DaxVm> dax_;
     std::unique_ptr<daxvm::PrezeroDaemon> prezero_;
     std::unique_ptr<latr::Latr> latr_;
+    /** Invariant oracle (checkLevel/DAXVM_CHECK); usually null. */
+    std::unique_ptr<check::Oracle> oracle_;
     /** Zeroed-pool snapshot taken at crash() for recover()'s re-check. */
     std::vector<fs::Extent> preCrashZeroed_;
 };

@@ -219,8 +219,10 @@ AddressSpace::munmap(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len)
         const std::uint64_t zapped = zapRange(cpu, vma, zs, ze, pages);
         if (zapped > 0) {
             // Linux flushes the TLB before dropping mmap_sem
-            // (tlb_finish_mmu inside the unmap path).
-            vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages);
+            // (tlb_finish_mmu inside the unmap path). zapRange may
+            // coarsen/truncate the list, so pass the real page count.
+            vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages,
+                                      zapped);
         }
 
         if (zs == vma.start && ze == vma.end) {
@@ -254,6 +256,8 @@ AddressSpace::munmap(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len)
     vmm_.counters().munmap.addAt(cpu.coreId());
     DAX_TRACE(sim::TraceCat::Mmap, cpu, "munmap va=0x%llx len=0x%llx",
               (unsigned long long)va, (unsigned long long)len);
+    if (vmm_.checkHook() != nullptr)
+        vmm_.checkHook()->onCheck(sim::CheckEvent::Munmap, cpu.now());
     return true;
 }
 
@@ -304,6 +308,7 @@ AddressSpace::mprotect(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
     // Downgrades must clear PTE write bits + flush TLBs.
     if (!write) {
         std::vector<std::uint64_t> pages;
+        std::uint64_t downgraded = 0;
         std::uint64_t cur = vma->start;
         while (cur < vma->end) {
             const arch::WalkResult walk = pt_.lookup(cur);
@@ -318,11 +323,13 @@ AddressSpace::mprotect(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
                                                : arch::kPteLevel;
             pt_.setFlags(base, level, 0, arch::pte::kWrite);
             cpu.advance(vmm_.cm().wrProtect);
+            downgraded += span / mem::kPageSize;
             if (pages.size() <= vmm_.cm().tlbFlushThreshold)
                 pages.push_back(base);
             cur = base + span;
         }
-        vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages);
+        vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages,
+                                  downgraded);
     }
     vmm_.counters().mprotect.addAt(cpu.coreId());
     return true;
@@ -435,7 +442,8 @@ AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
         const std::uint64_t zapped =
             zapRange(cpu, *vma, zs, vma->end, pages);
         if (zapped > 0)
-            vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages);
+            vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages,
+                                      zapped);
         cpu.advance(vmm_.cm().vmaSplit);
         vma->end = zs;
         vmm_.counters().mremap.addAt(cpu.coreId());
@@ -493,7 +501,7 @@ AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
         cur = base + span;
     }
     if (moved > 0)
-        vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages);
+        vmm_.hub().shootdownPages(cpu, cpuMask_, asid_, pages, moved);
 
     Vma rest = *vma;
     vmm_.unregisterMapping(vma->ino, this, vma->start);

@@ -160,10 +160,14 @@ class AddressSpace
     arch::CoreMask cpuMask() const { return cpuMask_; }
     arch::Asid asid() const { return asid_; }
     arch::PageTable &pageTable() { return pt_; }
+    const arch::PageTable &pageTable() const { return pt_; }
     sim::RwSemaphore &mmapSem() { return mmapSem_; }
     VmManager &vmm() { return vmm_; }
     arch::MmuPerf &perf() { return perf_; }
     const std::map<std::uint64_t, Vma> &vmas() const { return vmas_; }
+
+    /** Ephemeral region state without reserving it (checkers). */
+    const EphemeralRegion &ephemeral() const { return ephemeral_; }
 
     /** Execution-time accumulator for the MMU-overhead monitor. */
     void chargeExec(sim::Time ns) { execNs_ += ns; }

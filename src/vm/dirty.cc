@@ -397,8 +397,10 @@ VmManager::onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
             vma->start + (std::min(byteEnd, vmaFileEnd) - vma->fileOff);
         std::vector<std::uint64_t> pages;
         const std::uint64_t zapped = as->zapRange(cpu, *vma, s, e, pages);
-        if (zapped > 0)
-            hub_.shootdownPages(cpu, as->cpuMask(), as->asid(), pages);
+        if (zapped > 0) {
+            hub_.shootdownPages(cpu, as->cpuMask(), as->asid(), pages,
+                                zapped);
+        }
         counters_.truncateZaps.addAt(cpu.coreId(), zapped);
     }
 }

@@ -137,6 +137,24 @@ class VmManager : public fs::FsHooks
     void registerSpace(AddressSpace *as) { spaces_.insert(as); }
     void unregisterSpace(AddressSpace *as);
 
+    /** Live address spaces, for invariant checkers. */
+    const std::set<AddressSpace *> &spaces() const { return spaces_; }
+
+    /** Inodes with reverse-mapping state, for invariant checkers. */
+    std::vector<fs::Ino>
+    mappedInodes() const
+    {
+        std::vector<fs::Ino> inos;
+        inos.reserve(inodeVm_.size());
+        for (const auto &[ino, state] : inodeVm_)
+            inos.push_back(ino);
+        return inos;
+    }
+
+    /** Invariant-check observer fired after each munmap. */
+    void setCheckHook(sim::CheckHook *hook) { checkHook_ = hook; }
+    sim::CheckHook *checkHook() const { return checkHook_; }
+
     /** Next ASID for a new address space. */
     arch::Asid nextAsid() { return nextAsid_++; }
 
@@ -169,6 +187,7 @@ class VmManager : public fs::FsHooks
     std::unique_ptr<sim::MetricsRegistry> ownedMetrics_;
     sim::MetricsRegistry *metrics_;
     std::map<fs::Ino, InodeVm> inodeVm_;
+    sim::CheckHook *checkHook_ = nullptr;
     arch::Asid nextAsid_ = 1;
     bool hugePages_ = true;
     sim::StatSet stats_;

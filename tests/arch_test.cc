@@ -430,3 +430,39 @@ TEST(PageTable, AttachedNodeAccessor)
     f.pmemFrames.free(foreign->frame);
     delete foreign;
 }
+
+TEST(Shootdown, CoarsenedListEscalatesViaTotalPages)
+{
+    // DaxVM granule unmaps pass one representative address per 512-page
+    // granule; the real page count must drive the 33-page escalation,
+    // or stale entries inside the granule survive in the initiator's
+    // own TLB.
+    Fixture f;
+    ShootdownHub hub(f.cm, 1);
+    Mmu mmu(f.cm);
+    hub.registerMmu(0, &mmu);
+
+    WalkResult w;
+    w.present = true;
+    w.paddr = 0x5000;
+    w.pageShift = 12;
+    mmu.tlb().insert(0x20000, 1, w); // inside the granule, NOT listed
+
+    auto cpu = cpuOn(0);
+    hub.shootdownPages(cpu, 0x1, 1, {0x0}, /*totalPages=*/512);
+    EXPECT_EQ(hub.stats().get("tlb.full_flushes"), 1u);
+    EXPECT_EQ(hub.stats().get("tlb.invlpg"), 0u);
+    EXPECT_EQ(mmu.tlb().lookup(0x20000, 1), nullptr);
+}
+
+TEST(Shootdown, SmallTotalStillUsesInvlpg)
+{
+    Fixture f;
+    ShootdownHub hub(f.cm, 1);
+    Mmu mmu(f.cm);
+    hub.registerMmu(0, &mmu);
+    auto cpu = cpuOn(0);
+    hub.shootdownPages(cpu, 0x1, 1, {0x1000, 0x2000}, /*totalPages=*/2);
+    EXPECT_EQ(hub.stats().get("tlb.full_flushes"), 0u);
+    EXPECT_EQ(hub.stats().get("tlb.invlpg"), 2u);
+}

@@ -529,3 +529,90 @@ TEST(FaultPlan, KindPlanCountsOnlyItsKind)
     EXPECT_THROW(plan.onEvent(sim::FaultEvent::JournalCommit, 0),
                  sim::CrashException);
 }
+
+// ---------------------------------------------------------------------
+// ext4 jbd2 group commit (fsync forces the whole running transaction)
+// ---------------------------------------------------------------------
+
+TEST(GroupCommit, FsyncOfCleanInodeCommitsOtherDirtyMetadata)
+{
+    // jbd2 has one running transaction shared by all dirty inodes:
+    // fsync(b) must force it out even when b itself is clean and the
+    // transaction only carries /a's metadata.
+    sys::System system(smallConfig(fs::Personality::Ext4Dax));
+    const fs::Ino a = system.makeFile("/a", 4096);
+    const fs::Ino b = system.makeFile("/b", 4096);
+
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::vector<std::uint8_t> block(fs::kBlockSize, 0x5a);
+    system.fs().write(cpu, a, 4096, block.data(), block.size());
+    ASSERT_TRUE(system.fs().journal().isDirty(a));
+    ASSERT_FALSE(system.fs().journal().isDirty(b));
+
+    system.fs().fsync(cpu, b); // b is clean; the transaction is not
+    EXPECT_FALSE(system.fs().journal().isDirty(a));
+
+    system.crash();
+    system.recover();
+    // /a's extension rode the transaction fsync(b) forced out.
+    EXPECT_EQ(system.fs().inode(a).size, 8192u);
+    std::uint8_t got = 0;
+    system.fs().read(cpu, a, 4096, &got, 1);
+    EXPECT_EQ(got, 0x5a);
+    EXPECT_TRUE(system.fs().fsck().empty());
+}
+
+TEST(GroupCommit, CrashDuringForcedCommitRollsBackWholeBatch)
+{
+    sys::System system(smallConfig(fs::Personality::Ext4Dax));
+    const fs::Ino a = system.makeFile("/a", 4096);
+    const fs::Ino b = system.makeFile("/b", 4096);
+
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::vector<std::uint8_t> block(fs::kBlockSize, 0x77);
+    system.fs().write(cpu, a, 4096, block.data(), block.size());
+    system.fs().write(cpu, b, 4096, block.data(), block.size());
+
+    // Crash inside the very transaction fsync(b) forces: neither
+    // inode's new metadata may survive (the batch is atomic).
+    sim::FaultPlan plan =
+        sim::FaultPlan::atKind(sim::FaultEvent::JournalCommit, 0);
+    system.setFaultPlan(&plan);
+    bool crashed = false;
+    try {
+        system.fs().fsync(cpu, b);
+    } catch (const sim::CrashException &e) {
+        crashed = true;
+        EXPECT_EQ(e.event(), sim::FaultEvent::JournalCommit);
+    }
+    ASSERT_TRUE(crashed);
+    system.setFaultPlan(nullptr);
+
+    system.crash();
+    system.recover();
+    EXPECT_EQ(system.fs().inode(a).size, 4096u);
+    EXPECT_EQ(system.fs().inode(b).size, 4096u);
+    EXPECT_TRUE(system.fs().fsck().empty());
+}
+
+TEST(GroupCommit, NovaCommitsStayPerInode)
+{
+    // NOVA logs are independent: fsync(b) must NOT commit /a.
+    sys::System system(smallConfig(fs::Personality::Nova));
+    const fs::Ino a = system.makeFile("/a", 4096);
+    const fs::Ino b = system.makeFile("/b", 4096);
+
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::vector<std::uint8_t> block(fs::kBlockSize, 0x11);
+    system.fs().write(cpu, a, 4096, block.data(), block.size());
+    system.fs().write(cpu, b, 4096, block.data(), block.size());
+
+    system.fs().fsync(cpu, b);
+    EXPECT_TRUE(system.fs().journal().isDirty(a));
+    EXPECT_FALSE(system.fs().journal().isDirty(b));
+
+    system.crash();
+    system.recover();
+    EXPECT_EQ(system.fs().inode(a).size, 4096u); // rolled back
+    EXPECT_EQ(system.fs().inode(b).size, 8192u); // committed
+}

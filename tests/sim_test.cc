@@ -363,3 +363,34 @@ TEST(BusyIntervals, PruneDropsOnlyPastIntervals)
     EXPECT_EQ(busy.size(), 1u);
     EXPECT_EQ(busy.firstFree(300), 400u);
 }
+
+TEST(Engine, WakeResyncsStaleClockToSafeHorizon)
+{
+    // A producer far ahead in virtual time may wake a parked daemon
+    // with a precomputed (stale) notBefore. The daemon must resume at
+    // or after the engine's safe horizon: every lock has already
+    // pruned its busy intervals up to that point, so running the
+    // daemon earlier would let it observe (and slot holds into) state
+    // from a pruned past.
+    Engine engine(2);
+    Time daemonClock = 0;
+    const int daemonId =
+        engine.addDaemon(std::make_unique<FnTask>([&](Cpu &cpu) {
+            daemonClock = cpu.now();
+            return false;
+        }),
+                         0);
+    int steps = 0;
+    engine.addThread(std::make_unique<FnTask>([&, daemonId](Cpu &cpu) {
+        cpu.advance(1000);
+        if (++steps == 2) {
+            // Quantum started at t=1000, so the safe horizon is 1000;
+            // 50 is a stale timestamp from the thread's own past.
+            cpu.engine()->wake(daemonId, 50);
+        }
+        return steps < 3;
+    }),
+                     1);
+    engine.run();
+    EXPECT_GE(daemonClock, 1000u);
+}
