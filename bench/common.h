@@ -36,6 +36,7 @@
 
 #include "sim/json.h"
 #include "sim/metrics.h"
+#include "sim/trace.h"
 #include "sys/system.h"
 #include "workloads/common.h"
 
@@ -89,6 +90,35 @@ struct FigureData
     std::vector<Series> series;
 };
 
+/** Serialize figure rows (shared by "figures" and "host"."figures"). */
+inline sim::Json
+figuresToJson(const std::vector<FigureData> &figures)
+{
+    sim::Json figArr = sim::Json::array();
+    for (const auto &fig : figures) {
+        sim::Json f = sim::Json::object();
+        f["title"] = sim::Json(fig.title);
+        f["x_label"] = sim::Json(fig.xLabel);
+        sim::Json xsArr = sim::Json::array();
+        for (const auto &x : fig.xs)
+            xsArr.push(sim::Json(x));
+        f["xs"] = std::move(xsArr);
+        sim::Json seriesArr = sim::Json::array();
+        for (const auto &s : fig.series) {
+            sim::Json sj = sim::Json::object();
+            sj["name"] = sim::Json(s.name);
+            sim::Json vals = sim::Json::array();
+            for (const double v : s.values)
+                vals.push(sim::Json(v));
+            sj["values"] = std::move(vals);
+            seriesArr.push(std::move(sj));
+        }
+        f["series"] = std::move(seriesArr);
+        figArr.push(std::move(f));
+    }
+    return figArr;
+}
+
 /**
  * Everything one bench run produced: the figure rows exactly as
  * printed, free-form notes (workload parameters, aging reports), the
@@ -108,6 +138,17 @@ struct BenchResult
     sys::SystemConfig config;
     /** Empty = stdout only (no JSON requested). */
     std::string jsonPath;
+    /** Empty = no Chrome span trace requested (`--trace PATH`). */
+    std::string tracePath;
+    /** Empty = no folded-stack export (`--trace-folded PATH`). */
+    std::string foldedPath;
+    /**
+     * Host wall-clock figures (e.g. micro_ops google-benchmark rows).
+     * Serialized under a separate "host" section that check_sweep and
+     * bench_diff.py ignore: everything under "figures" stays
+     * deterministic virtual-time data.
+     */
+    std::vector<FigureData> hostFigures;
 
     sim::Json
     toJson() const
@@ -122,29 +163,14 @@ struct BenchResult
             noteArr.push(sim::Json(n));
         root["notes"] = std::move(noteArr);
 
-        sim::Json figArr = sim::Json::array();
-        for (const auto &fig : figures) {
-            sim::Json f = sim::Json::object();
-            f["title"] = sim::Json(fig.title);
-            f["x_label"] = sim::Json(fig.xLabel);
-            sim::Json xsArr = sim::Json::array();
-            for (const auto &x : fig.xs)
-                xsArr.push(sim::Json(x));
-            f["xs"] = std::move(xsArr);
-            sim::Json seriesArr = sim::Json::array();
-            for (const auto &s : fig.series) {
-                sim::Json sj = sim::Json::object();
-                sj["name"] = sim::Json(s.name);
-                sim::Json vals = sim::Json::array();
-                for (const double v : s.values)
-                    vals.push(sim::Json(v));
-                sj["values"] = std::move(vals);
-                seriesArr.push(std::move(sj));
-            }
-            f["series"] = std::move(seriesArr);
-            figArr.push(std::move(f));
+        root["figures"] = figuresToJson(figures);
+        if (!hostFigures.empty()) {
+            // Host wall-clock data lives in its own section so the
+            // determinism comparators can drop it wholesale.
+            sim::Json host = sim::Json::object();
+            host["figures"] = figuresToJson(hostFigures);
+            root["host"] = std::move(host);
         }
-        root["figures"] = std::move(figArr);
 
         sim::Json cfg = sim::Json::object();
         if (haveConfig) {
@@ -178,8 +204,9 @@ result()
 }
 
 /**
- * Parse the shared bench command line (currently `--json PATH`) and
- * name the result. Call first in every bench main().
+ * Parse the shared bench command line (`--json PATH`, `--trace PATH`,
+ * `--trace-folded PATH`) and name the result. Call first in every
+ * bench main(): span recording starts here, before any System exists.
  */
 inline void
 init(int argc, char **argv, const std::string &name)
@@ -189,15 +216,27 @@ init(int argc, char **argv, const std::string &name)
         const std::string arg = argv[i];
         if (arg == "--json" && i + 1 < argc) {
             result().jsonPath = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            result().tracePath = argv[++i];
+        } else if (arg == "--trace-folded" && i + 1 < argc) {
+            result().foldedPath = argv[++i];
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--json PATH]\n"
-                         "  --json PATH  also write the BenchResult as "
-                         "JSON (schema: docs/metrics.md)\n",
-                         argv[0]);
+            std::fprintf(
+                stderr,
+                "usage: %s [--json PATH] [--trace PATH] "
+                "[--trace-folded PATH]\n"
+                "  --json PATH          also write the BenchResult as "
+                "JSON (schema: docs/metrics.md)\n"
+                "  --trace PATH         write a Chrome trace_event span "
+                "trace (docs/tracing.md)\n"
+                "  --trace-folded PATH  write folded stacks "
+                "(flamegraph input)\n",
+                argv[0]);
             std::exit(arg == "--help" ? 0 : 2);
         }
     }
+    if (!result().tracePath.empty() || !result().foldedPath.empty())
+        sim::Trace::get().spans().enableAll();
 }
 
 /** Record the workload seed in the result (default 0 = unseeded). */
@@ -234,13 +273,33 @@ record(sys::System &system)
 }
 
 /**
- * Write the JSON result if `--json` was given. Return the bench's
- * exit code (use as `return bench::finish();`).
+ * Write the JSON result / span trace exports if requested. Return the
+ * bench's exit code (use as `return bench::finish();`).
  */
 inline int
 finish()
 {
     const auto &r = result();
+    if (!r.tracePath.empty()) {
+        std::FILE *f = std::fopen(r.tracePath.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         r.tracePath.c_str());
+            return 1;
+        }
+        sim::Trace::get().spans().writeChromeTrace(f);
+        std::fclose(f);
+    }
+    if (!r.foldedPath.empty()) {
+        std::FILE *f = std::fopen(r.foldedPath.c_str(), "w");
+        if (f == nullptr) {
+            std::fprintf(stderr, "cannot write %s\n",
+                         r.foldedPath.c_str());
+            return 1;
+        }
+        sim::Trace::get().spans().writeFoldedStacks(f);
+        std::fclose(f);
+    }
     if (r.jsonPath.empty())
         return 0;
     std::FILE *f = std::fopen(r.jsonPath.c_str(), "w");

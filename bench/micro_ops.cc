@@ -159,8 +159,8 @@ BENCHMARK(BM_EngineRun16Threads);
  * Console reporter that also captures per-benchmark adjusted real time
  * so the run can be serialized as a BenchResult like the figure
  * benches (one figure, one "real_ns" series). Host wall-clock numbers
- * are inherently noisy - consumers (scripts/bench_diff.py) treat this
- * bench's rows as informational, not as regression gates.
+ * are inherently noisy, so the figure goes in the result's "host"
+ * section, which tools/check_sweep and scripts/bench_diff.py ignore.
  */
 class CaptureReporter : public benchmark::ConsoleReporter
 {
@@ -195,13 +195,20 @@ class CaptureReporter : public benchmark::ConsoleReporter
 int
 main(int argc, char **argv)
 {
-    // Peel our shared --json flag off before google-benchmark parses
-    // the rest of the command line.
+    // Peel our shared flags off before google-benchmark parses the
+    // rest of the command line.
     std::vector<char *> args;
     std::string jsonPath;
+    std::string tracePath;
+    std::string foldedPath;
     for (int i = 0; i < argc; i++) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
+            tracePath = argv[++i];
+        else if (std::strcmp(argv[i], "--trace-folded") == 0
+                 && i + 1 < argc)
+            foldedPath = argv[++i];
         else
             args.push_back(argv[i]);
     }
@@ -210,12 +217,20 @@ main(int argc, char **argv)
     if (benchmark::ReportUnrecognizedArguments(n, args.data()))
         return 1;
 
+    bench::result().name = "micro_ops";
+    bench::result().jsonPath = jsonPath;
+    bench::result().tracePath = tracePath;
+    bench::result().foldedPath = foldedPath;
+    if (!tracePath.empty() || !foldedPath.empty())
+        sim::Trace::get().spans().enableAll();
+
     CaptureReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
 
-    bench::result().name = "micro_ops";
-    bench::result().jsonPath = jsonPath;
-    bench::result().figures.push_back(reporter.takeFigure());
+    // Wall-clock rows go in the "host" section; the deterministic
+    // "figures" section stays empty so the run can join the
+    // determinism sweep.
+    bench::result().hostFigures.push_back(reporter.takeFigure());
     return bench::finish();
 }

@@ -17,8 +17,9 @@ Regression direction is inferred from the figure title: a title
 containing "lower is better" treats increases as regressions, "higher
 is better" (or a plain throughput figure) treats decreases as
 regressions. Figures whose title carries no marker are reported but
-never gate. The micro_ops bench measures host wall-clock time and is
-always informational only.
+never gate. The micro_ops bench measures host wall-clock time; its
+rows live under the result's separate "host" section, which the
+comparator ignores entirely (only "figures" is diffed).
 """
 
 import argparse
@@ -109,6 +110,10 @@ def validate_result(doc, name):
         for key in ("counters", "gauges", "histograms"):
             if not isinstance(metrics.get(key), dict):
                 problems.append(f"{name}: metrics.{key} missing")
+    # Optional host wall-clock section (micro_ops): informational only,
+    # never compared, but it must at least be an object when present.
+    if "host" in doc and not isinstance(doc["host"], dict):
+        problems.append(f"{name}: 'host' present but not an object")
     return problems
 
 

@@ -69,6 +69,7 @@ ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
 {
     const int self = cpu.coreId();
     const sim::Time begin = cpu.now();
+    DAX_SPAN(sim::TraceCat::Shootdown, cpu, "shootdown");
     // Escalate on the real unmap size: a truncated/coarsened page list
     // (one entry per DaxVM granule) must not dodge the full flush, or
     // the INVLPG loop below leaves the untruncated pages stale in the
@@ -127,6 +128,7 @@ ShootdownHub::shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid)
 {
     const int self = cpu.coreId();
     const sim::Time begin = cpu.now();
+    DAX_SPAN(sim::TraceCat::Shootdown, cpu, "shootdown_full");
     mmus_.at(static_cast<unsigned>(self))->tlb().flushAsid(asid);
     cpu.advance(cm_.fullFlushLocal);
     fullFlushes_.addAt(self);
@@ -155,6 +157,7 @@ ShootdownHub::drainDisruption(sim::Cpu &cpu)
     auto &pending = pendingDisruption_.at(
         static_cast<unsigned>(cpu.coreId()));
     if (pending > 0) {
+        DAX_SPAN(sim::TraceCat::Shootdown, cpu, "ipi_disruption");
         cpu.advance(pending);
         disruptionNs_.addAt(cpu.coreId(),
                             static_cast<std::uint64_t>(pending));

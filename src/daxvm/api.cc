@@ -54,6 +54,7 @@ void
 DaxVm::attachRange(sim::Cpu &cpu, vm::AddressSpace &as, vm::Vma &vma,
                    FileTable &table, bool writable)
 {
+    DAX_SPAN(sim::TraceCat::Daxvm, cpu, "attach");
     const sim::CostModel &cm = vmm_.cm();
     const std::uint64_t span = arch::levelSpan(vma.attachLevel);
     arch::PageTable &pt = as.pageTable();
@@ -91,6 +92,7 @@ DaxVm::attachRange(sim::Cpu &cpu, vm::AddressSpace &as, vm::Vma &vma,
 std::uint64_t
 DaxVm::detachRange(sim::Cpu &cpu, vm::AddressSpace &as, vm::Vma &vma)
 {
+    DAX_SPAN(sim::TraceCat::Daxvm, cpu, "detach");
     const sim::CostModel &cm = vmm_.cm();
     const std::uint64_t span = arch::levelSpan(vma.attachLevel);
     arch::PageTable &pt = as.pageTable();
@@ -114,6 +116,7 @@ DaxVm::mmap(sim::Cpu &cpu, vm::AddressSpace &as, fs::Ino ino,
             std::uint64_t off, std::uint64_t len, bool write,
             unsigned flags)
 {
+    DAX_SPAN(sim::TraceCat::Daxvm, cpu, "daxvm_mmap");
     const sim::CostModel &cm = vmm_.cm();
     cpu.advance(cm.syscall);
     as.noteCore(cpu.coreId());
@@ -207,6 +210,7 @@ DaxVm::reap(sim::Cpu &cpu, vm::AddressSpace &as, vm::Vma &vma)
 bool
 DaxVm::munmap(sim::Cpu &cpu, vm::AddressSpace &as, std::uint64_t va)
 {
+    DAX_SPAN(sim::TraceCat::Daxvm, cpu, "daxvm_munmap");
     const sim::CostModel &cm = vmm_.cm();
     cpu.advance(cm.syscall);
     vm::Vma *vma = as.findVma(va);
@@ -261,6 +265,7 @@ DaxVm::flushZombies(sim::Cpu &cpu, vm::AddressSpace &as)
     auto starts = unmapper_.take(as);
     if (starts.empty())
         return;
+    DAX_SPAN(sim::TraceCat::Daxvm, cpu, "zombie_flush");
     // Ephemeral zombies only need the semaphore as reader; a batch
     // containing tree VMAs must take it as writer.
     bool anyTree = false;
@@ -299,6 +304,7 @@ DaxVm::flushZombies(sim::Cpu &cpu, vm::AddressSpace &as)
 void
 DaxVm::forceUnmapFile(sim::Cpu &cpu, fs::Ino ino)
 {
+    DAX_SPAN(sim::TraceCat::Daxvm, cpu, "force_unmap");
     // Copy: reap mutates the registry.
     const auto refs = vmm_.mappingsOf(ino);
     for (const auto &ref : refs) {

@@ -76,6 +76,9 @@ PrezeroDaemon::onCrash()
 bool
 PrezeroDaemon::step(sim::Cpu &cpu)
 {
+    if (pendingBlocks_ == 0)
+        return false;
+    DAX_SPAN(sim::TraceCat::Prezero, cpu, "prezero_batch");
     std::uint64_t budget = kBatchBlocks;
     while (budget > 0 && pendingBlocks_ > 0) {
         auto &queue = queues_[nextQueue_ % queues_.size()];

@@ -8,6 +8,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/trace.h"
+
 namespace dax::fs {
 
 FileSystem::FileSystem(Personality personality, mem::Device &pmem,
@@ -169,6 +171,7 @@ void
 FileSystem::zeroExtents(sim::Cpu &cpu, const std::vector<Extent> &extents,
                         const std::vector<bool> &alreadyZeroed)
 {
+    DAX_SPAN(sim::TraceCat::Fs, cpu, "zero");
     for (std::size_t i = 0; i < extents.size(); i++) {
         if (i < alreadyZeroed.size() && alreadyZeroed[i]) {
             counters_.prezeroedBlocks.addAt(cpu.coreId(),
@@ -198,12 +201,16 @@ FileSystem::extendTo(sim::Cpu &cpu, Inode &node, std::uint64_t newBlocks,
         goal = std::prev(node.extents.end())->second.endBlock();
 
     std::vector<bool> zeroed;
-    auto got = alloc_.alloc(need, goal, &zeroed,
-                            /*preferHugeAligned=*/need >= kBlocksPerHuge);
-    if (got.empty())
-        return false; // ENOSPC
-    cpu.advance(cm_.blockAllocOp * got.size());
-    counters_.blockAllocs.addAt(cpu.coreId(), got.size());
+    std::vector<Extent> got;
+    {
+        DAX_SPAN(sim::TraceCat::Fs, cpu, "block_alloc");
+        got = alloc_.alloc(need, goal, &zeroed,
+                           /*preferHugeAligned=*/need >= kBlocksPerHuge);
+        if (got.empty())
+            return false; // ENOSPC
+        cpu.advance(cm_.blockAllocOp * got.size());
+        counters_.blockAllocs.addAt(cpu.coreId(), got.size());
+    }
 
     if (zeroPolicy == ZeroPolicy::Synchronous)
         zeroExtents(cpu, got, zeroed);
@@ -260,6 +267,7 @@ FileSystem::freeAll(sim::Cpu &cpu, Inode &node, std::uint64_t fromBlock)
     intervalErase(node.unwritten, fromBlock,
                   ~0ULL - fromBlock); // drop unwritten state beyond
     for (auto &[fileBlock, e] : toFree) {
+        DAX_SPAN(sim::TraceCat::Fs, cpu, "block_free");
         for (auto *h : hooks_)
             h->onBlocksFreeing(cpu, node, fileBlock, e);
         cpu.advance(cm_.blockAllocOp);

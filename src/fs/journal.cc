@@ -7,6 +7,8 @@
 
 #include <vector>
 
+#include "sim/trace.h"
+
 namespace dax::fs {
 
 void
@@ -58,6 +60,7 @@ Journal::commit(sim::Cpu &cpu, Ino ino)
             return;
         const std::vector<Ino> batch(dirty_.begin(), dirty_.end());
         const sim::Time begin = cpu.now();
+        DAX_SPAN(sim::TraceCat::Fs, cpu, "journal_commit");
         sim::ScopedLock guard(lock_, cpu);
         chargeCommit(cpu);
         commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
@@ -71,6 +74,7 @@ Journal::commit(sim::Cpu &cpu, Ino ino)
         if (!isDirty(ino))
             return;
         const sim::Time begin = cpu.now();
+        DAX_SPAN(sim::TraceCat::Fs, cpu, "journal_commit");
         chargeCommit(cpu);
         commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
         snapshot(ino);
@@ -84,6 +88,7 @@ void
 Journal::commitErase(sim::Cpu &cpu, Ino ino)
 {
     const sim::Time begin = cpu.now();
+    DAX_SPAN(sim::TraceCat::Fs, cpu, "journal_commit");
     if (personality_ == Personality::Ext4Dax) {
         sim::ScopedLock guard(lock_, cpu);
         chargeCommit(cpu);
@@ -106,6 +111,7 @@ Journal::commitAll(sim::Cpu &cpu)
     if (personality_ == Personality::Ext4Dax) {
         // jbd2 group commit: the whole batch rides one transaction.
         const sim::Time begin = cpu.now();
+        DAX_SPAN(sim::TraceCat::Fs, cpu, "journal_commit");
         sim::ScopedLock guard(lock_, cpu);
         chargeCommit(cpu);
         commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
@@ -115,6 +121,7 @@ Journal::commitAll(sim::Cpu &cpu)
     } else {
         for (const Ino ino : batch) {
             const sim::Time begin = cpu.now();
+            DAX_SPAN(sim::TraceCat::Fs, cpu, "journal_commit");
             chargeCommit(cpu);
             commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
             snapshot(ino);

@@ -6,6 +6,8 @@
 
 #include <algorithm>
 
+#include "sim/trace.h"
+
 namespace dax::latr {
 
 namespace {
@@ -31,6 +33,7 @@ Latr::lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
                     const std::vector<std::uint64_t> &pages,
                     std::uint64_t totalPages)
 {
+    DAX_SPAN(sim::TraceCat::Latr, cpu, "latr_lazy");
     // LATR's shared state is protected by its own lock, which is the
     // contention the paper observed.
     sim::ScopedLock guard(stateLock_, cpu);
@@ -67,6 +70,9 @@ Latr::lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
         }
         lazyCount_ += effective;
     }
+    DAX_TRACE(sim::TraceCat::Latr, cpu, "lazy %s pages=%zu asid=%u",
+              fullFlush ? "full-flush" : "batch", pages.size(),
+              (unsigned)asid);
     if (checkHook_ != nullptr)
         checkHook_->onCheck(sim::CheckEvent::LazyShootdown, cpu.now());
 }
@@ -77,6 +83,7 @@ Latr::drain(sim::Cpu &cpu)
     auto &mine = pending_.at(static_cast<unsigned>(cpu.coreId()));
     if (mine.empty())
         return;
+    DAX_SPAN(sim::TraceCat::Latr, cpu, "latr_drain");
     sim::ScopedLock guard(stateLock_, cpu);
     cpu.advance(kSweepBase);
     for (const auto &p : mine) {
@@ -88,6 +95,8 @@ Latr::drain(sim::Cpu &cpu)
         hub_.mmu(cpu.coreId()).tlb().invalidatePage(p.page, p.asid);
         cpu.advance(kApplyPerPage);
     }
+    DAX_TRACE(sim::TraceCat::Latr, cpu, "drain applied=%zu core=%d",
+              mine.size(), cpu.coreId());
     mine.clear();
     if (checkHook_ != nullptr)
         checkHook_->onCheck(sim::CheckEvent::LatrDrain, cpu.now());
@@ -106,6 +115,7 @@ Latr::pendingCovers(int core, arch::Asid asid, std::uint64_t page) const
 bool
 Latr::munmapLazy(sim::Cpu &cpu, vm::AddressSpace &as, std::uint64_t va)
 {
+    DAX_SPAN(sim::TraceCat::Latr, cpu, "latr_munmap");
     cpu.advance(cm_.syscall);
     sim::ScopedWriteLock guard(as.mmapSem(), cpu);
     vm::Vma *vma = as.findVma(va);

@@ -22,8 +22,24 @@
 #include "sim/busy_intervals.h"
 #include "sim/engine.h"
 #include "sim/time.h"
+#include "sim/trace.h"
 
 namespace dax::sim {
+
+/**
+ * Record a retrospective lock-wait span (the wait is only known at
+ * acquisition). One predictable branch when recording is off; zero
+ * waits are not recorded, so volume tracks contention, not traffic.
+ */
+inline void
+traceLockWait(Cpu &cpu, const std::string &lockName, Time requested)
+{
+    SpanRecorder &rec = Trace::get().spans();
+    if (rec.enabled(TraceCat::Lock) && cpu.now() > requested) {
+        rec.span(TraceCat::Lock, spanTrackOf(cpu), cpu.coreId(),
+                 requested, cpu.now(), "lock_wait", lockName);
+    }
+}
 
 /** Aggregate contention statistics of one lock. */
 struct LockStats
@@ -60,6 +76,7 @@ class Mutex
         stats_.acquisitions++;
         stats_.waitNs += cpu.now() - requested;
         heldSince_ = cpu.now();
+        traceLockWait(cpu, name_, requested);
     }
 
     /** Release at the caller's current time. */
@@ -141,6 +158,7 @@ class RwSemaphore
         readStats_.acquisitions++;
         readStats_.waitNs += cpu.now() - requested;
         readHeldSince_ = cpu.now();
+        traceLockWait(cpu, name_, requested);
     }
 
     void
@@ -173,6 +191,7 @@ class RwSemaphore
         writeStats_.acquisitions++;
         writeStats_.waitNs += cpu.now() - requested;
         heldSince_ = cpu.now();
+        traceLockWait(cpu, name_, requested);
         cpu.advance(writerAtomics_);
     }
 

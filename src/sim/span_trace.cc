@@ -1,0 +1,719 @@
+/**
+ * @file
+ * Span recorder, Chrome/folded exporters, and trace analysis.
+ */
+#include "sim/span_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/json.h"
+#include "sim/metrics.h"
+
+namespace dax::sim {
+
+namespace {
+
+/** Default per-track ring capacity (events); DAXVM_TRACE_EVENTS wins. */
+constexpr std::size_t kDefaultCapacity = 1u << 20;
+
+/** Default virtual-time period between counter samples. */
+constexpr Time kDefaultSamplePeriod = 1'000'000; // 1 ms
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+/** Append virtual ns as exact microseconds ("12.345"). */
+void
+appendTsUs(std::string &out, Time ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                  ns % 1000);
+    out += buf;
+}
+
+void
+flushIfFull(std::string &buf, std::FILE *file)
+{
+    if (file != nullptr && buf.size() >= 1u << 16) {
+        std::fwrite(buf.data(), 1, buf.size(), file);
+        buf.clear();
+    }
+}
+
+std::string
+trackName(std::uint32_t track)
+{
+    if (track >= kScratchTrackBase)
+        return "scratch " + std::to_string(track - kScratchTrackBase);
+    return "thread " + std::to_string(track);
+}
+
+} // namespace
+
+SpanRecorder::SpanRecorder()
+    : capacity_(kDefaultCapacity), samplePeriod_(kDefaultSamplePeriod)
+{
+    if (const char *env = std::getenv("DAXVM_TRACE_EVENTS")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            capacity_ = static_cast<std::size_t>(v);
+    }
+}
+
+void
+SpanRecorder::setCapacity(std::size_t perTrackEvents)
+{
+    capacity_ = perTrackEvents > 0 ? perTrackEvents : 1;
+}
+
+std::uint32_t
+SpanRecorder::attachProcess(MetricsRegistry *counters, const char *label)
+{
+    const std::uint32_t pid = nextPid_++;
+    currentPid_ = pid;
+    processLabels_[pid] =
+        std::string(label) + " #" + std::to_string(pid - 1);
+    if (counters != nullptr)
+        counterSource_ = counters;
+    nextSampleAt_ = 0;
+    return pid;
+}
+
+void
+SpanRecorder::detachProcess(MetricsRegistry *counters)
+{
+    if (counterSource_ == counters)
+        counterSource_ = nullptr;
+}
+
+void
+SpanRecorder::push(SpanEvent ev)
+{
+    Track &t = tracks_[(std::uint64_t(ev.pid) << 32) | ev.track];
+    if (t.events.size() < capacity_) {
+        t.events.push_back(std::move(ev));
+        return;
+    }
+    t.events[t.next] = std::move(ev);
+    t.next = (t.next + 1) % capacity_;
+    t.dropped++;
+}
+
+void
+SpanRecorder::maybeSampleCounters(std::uint32_t track, Time ts)
+{
+    if (counterSource_ == nullptr || samplePeriod_ == 0
+        || ts < nextSampleAt_) {
+        return;
+    }
+    nextSampleAt_ = ts + samplePeriod_;
+    const MetricsSnapshot snap = counterSource_->peek();
+    for (const auto &[name, value] : snap.counters)
+        counterSample(track, ts, name, value);
+}
+
+void
+SpanRecorder::begin(TraceCat cat, std::uint32_t track, int core, Time ts,
+                    const char *name, std::string detail)
+{
+    maybeSampleCounters(track, ts);
+    push({SpanPhase::Begin, cat, currentPid_, track, core, ts, name, 0,
+          std::move(detail)});
+}
+
+void
+SpanRecorder::end(TraceCat cat, std::uint32_t track, int core, Time ts,
+                  const char *name)
+{
+    push({SpanPhase::End, cat, currentPid_, track, core, ts, name, 0, {}});
+}
+
+void
+SpanRecorder::span(TraceCat cat, std::uint32_t track, int core,
+                   Time beginTs, Time endTs, const char *name,
+                   std::string detail)
+{
+    begin(cat, track, core, beginTs, name, std::move(detail));
+    end(cat, track, core, endTs, name);
+}
+
+void
+SpanRecorder::instant(TraceCat cat, std::uint32_t track, int core, Time ts,
+                      const char *name, std::string detail)
+{
+    push({SpanPhase::Instant, cat, currentPid_, track, core, ts, name, 0,
+          std::move(detail)});
+}
+
+void
+SpanRecorder::counterSample(std::uint32_t track, Time ts,
+                            const std::string &name, std::uint64_t value)
+{
+    // Metric names are interned strings owned by a registry that can be
+    // destroyed before export, so they travel in `detail`, not `name`.
+    push({SpanPhase::Counter, TraceCat::Fault, currentPid_, track, -1, ts,
+          "counter", value, name});
+}
+
+void
+SpanRecorder::clear()
+{
+    tracks_.clear();
+    processLabels_.clear();
+    currentPid_ = 1;
+    nextPid_ = 2;
+    nextSampleAt_ = 0;
+    counterSource_ = nullptr;
+}
+
+std::uint64_t
+SpanRecorder::eventCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[key, t] : tracks_)
+        n += t.events.size();
+    return n;
+}
+
+std::uint64_t
+SpanRecorder::droppedCount() const
+{
+    std::uint64_t n = 0;
+    for (const auto &[key, t] : tracks_)
+        n += t.dropped;
+    return n;
+}
+
+std::vector<const SpanEvent *>
+SpanRecorder::ordered(const Track &t) const
+{
+    std::vector<const SpanEvent *> out;
+    out.reserve(t.events.size());
+    for (std::size_t i = 0; i < t.events.size(); i++)
+        out.push_back(&t.events[(t.next + i) % t.events.size()]);
+    return out;
+}
+
+std::vector<SpanEvent>
+SpanRecorder::balanced(const Track &t) const
+{
+    std::vector<SpanEvent> out;
+    out.reserve(t.events.size());
+    std::vector<std::size_t> open; // indices into `out` of open Begins
+    Time last = 0;
+    for (const SpanEvent *e : ordered(t)) {
+        last = std::max(last, e->ts);
+        if (e->phase == SpanPhase::End) {
+            if (open.empty())
+                continue; // orphan End from a wrapped ring
+            open.pop_back();
+        } else if (e->phase == SpanPhase::Begin) {
+            open.push_back(out.size());
+        }
+        out.push_back(*e);
+    }
+    // Close any still-open Begins (innermost first) at the last stamp.
+    while (!open.empty()) {
+        SpanEvent e = out[open.back()];
+        open.pop_back();
+        e.phase = SpanPhase::End;
+        e.ts = last;
+        e.detail.clear();
+        out.push_back(std::move(e));
+    }
+    return out;
+}
+
+void
+SpanRecorder::renderChrome(std::string &buf, std::FILE *file) const
+{
+    buf += "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n";
+    bool first = true;
+    auto comma = [&] {
+        if (!first)
+            buf += ",\n";
+        first = false;
+    };
+
+    comma();
+    buf += "{\"ph\":\"M\",\"pid\":0,\"name\":\"daxvm_dropped_events\","
+           "\"args\":{\"value\":"
+        + std::to_string(droppedCount()) + "}}";
+
+    std::uint32_t lastPid = 0;
+    for (const auto &[key, t] : tracks_) {
+        const auto pid = static_cast<std::uint32_t>(key >> 32);
+        const auto track = static_cast<std::uint32_t>(key);
+        if (pid != lastPid) {
+            lastPid = pid;
+            const auto it = processLabels_.find(pid);
+            const std::string label = it != processLabels_.end()
+                                          ? it->second
+                                          : "(no system)";
+            comma();
+            buf += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid)
+                + ",\"name\":\"process_name\",\"args\":{\"name\":\"";
+            appendEscaped(buf, label);
+            buf += "\"}}";
+        }
+        comma();
+        buf += "{\"ph\":\"M\",\"pid\":" + std::to_string(pid)
+            + ",\"tid\":" + std::to_string(track)
+            + ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+            + trackName(track) + "\"}}";
+
+        for (const SpanEvent &e : balanced(t)) {
+            comma();
+            const std::string ids = "\"pid\":" + std::to_string(pid)
+                + ",\"tid\":" + std::to_string(track) + ",\"ts\":";
+            switch (e.phase) {
+              case SpanPhase::Begin:
+                buf += "{\"ph\":\"B\"," + ids;
+                appendTsUs(buf, e.ts);
+                buf += ",\"cat\":\"";
+                buf += traceCatName(e.cat);
+                buf += "\",\"name\":\"";
+                buf += e.name;
+                buf += "\",\"args\":{\"core\":" + std::to_string(e.core);
+                if (!e.detail.empty()) {
+                    buf += ",\"detail\":\"";
+                    appendEscaped(buf, e.detail);
+                    buf += "\"";
+                }
+                buf += "}}";
+                break;
+              case SpanPhase::End:
+                buf += "{\"ph\":\"E\"," + ids;
+                appendTsUs(buf, e.ts);
+                buf += ",\"cat\":\"";
+                buf += traceCatName(e.cat);
+                buf += "\",\"name\":\"";
+                buf += e.name;
+                buf += "\"}";
+                break;
+              case SpanPhase::Instant:
+                buf += "{\"ph\":\"i\"," + ids;
+                appendTsUs(buf, e.ts);
+                buf += ",\"s\":\"t\",\"cat\":\"";
+                buf += traceCatName(e.cat);
+                buf += "\",\"name\":\"";
+                buf += e.name;
+                buf += "\",\"args\":{\"core\":" + std::to_string(e.core);
+                if (!e.detail.empty()) {
+                    buf += ",\"detail\":\"";
+                    appendEscaped(buf, e.detail);
+                    buf += "\"";
+                }
+                buf += "}}";
+                break;
+              case SpanPhase::Counter:
+                buf += "{\"ph\":\"C\"," + ids;
+                appendTsUs(buf, e.ts);
+                buf += ",\"name\":\"";
+                appendEscaped(buf, e.detail);
+                buf += "\",\"args\":{\"value\":"
+                    + std::to_string(e.value) + "}}";
+                break;
+            }
+            flushIfFull(buf, file);
+        }
+    }
+    buf += "\n]}\n";
+}
+
+void
+SpanRecorder::renderFolded(std::string &buf, std::FILE *file) const
+{
+    // stack-line -> accumulated self virtual-time (ns)
+    std::map<std::string, std::uint64_t> folded;
+    for (const auto &[key, t] : tracks_) {
+        const auto pid = static_cast<std::uint32_t>(key >> 32);
+        const auto track = static_cast<std::uint32_t>(key);
+        const auto it = processLabels_.find(pid);
+        const std::string root =
+            (it != processLabels_.end() ? it->second : "(no system)")
+            + ";" + trackName(track);
+
+        struct Frame
+        {
+            const char *name;
+            Time begin;
+            std::uint64_t childNs = 0;
+        };
+        std::vector<Frame> stack;
+        for (const SpanEvent &e : balanced(t)) {
+            if (e.phase == SpanPhase::Begin) {
+                stack.push_back({e.name, e.ts, 0});
+            } else if (e.phase == SpanPhase::End && !stack.empty()) {
+                const Frame f = stack.back();
+                stack.pop_back();
+                const std::uint64_t dur = e.ts - f.begin;
+                const std::uint64_t self =
+                    dur > f.childNs ? dur - f.childNs : 0;
+                if (!stack.empty())
+                    stack.back().childNs += dur;
+                std::string line = root;
+                for (const Frame &outer : stack) {
+                    line += ";";
+                    line += outer.name;
+                }
+                line += ";";
+                line += f.name;
+                folded[line] += self;
+            }
+        }
+    }
+    for (const auto &[line, selfNs] : folded) {
+        buf += line + " " + std::to_string(selfNs) + "\n";
+        flushIfFull(buf, file);
+    }
+}
+
+void
+SpanRecorder::writeChromeTrace(std::FILE *out) const
+{
+    std::string buf;
+    renderChrome(buf, out);
+    if (!buf.empty())
+        std::fwrite(buf.data(), 1, buf.size(), out);
+}
+
+std::string
+SpanRecorder::chromeTraceString() const
+{
+    std::string buf;
+    renderChrome(buf, nullptr);
+    return buf;
+}
+
+void
+SpanRecorder::writeFoldedStacks(std::FILE *out) const
+{
+    std::string buf;
+    renderFolded(buf, out);
+    if (!buf.empty())
+        std::fwrite(buf.data(), 1, buf.size(), out);
+}
+
+std::string
+SpanRecorder::foldedStacksString() const
+{
+    std::string buf;
+    renderFolded(buf, nullptr);
+    return buf;
+}
+
+namespace {
+
+/** Round an exact-microsecond JSON timestamp back to integer ns. */
+std::uint64_t
+tsToNs(double tsUs)
+{
+    return static_cast<std::uint64_t>(tsUs * 1000.0 + 0.5);
+}
+
+struct OpenSpan
+{
+    std::string name;
+    std::string detail;
+    std::uint64_t beginNs;
+    std::uint64_t childNs = 0;
+};
+
+} // namespace
+
+TraceReport
+analyzeChromeTrace(const Json &doc)
+{
+    TraceReport report;
+    const Json *events = doc.find("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        report.problems.push_back("missing traceEvents array");
+        return report;
+    }
+
+    struct TrackState
+    {
+        std::vector<OpenSpan> stack;
+        std::uint64_t lastNs = 0;
+        bool seen = false;
+    };
+    std::map<std::pair<std::int64_t, std::int64_t>, TrackState> tracks;
+
+    std::size_t index = 0;
+    for (const Json &ev : events->items()) {
+        const std::size_t at = index++;
+        if (!ev.isObject()) {
+            report.problems.push_back(
+                "event " + std::to_string(at) + ": not an object");
+            continue;
+        }
+        const Json *ph = ev.find("ph");
+        if (ph == nullptr || !ph->isString()) {
+            report.problems.push_back(
+                "event " + std::to_string(at) + ": missing ph");
+            continue;
+        }
+        const std::string &phase = ph->asString();
+        if (phase == "M") {
+            const Json *name = ev.find("name");
+            if (name != nullptr && name->isString()
+                && name->asString() == "daxvm_dropped_events") {
+                if (const Json *args = ev.find("args"))
+                    if (const Json *v = args->find("value"))
+                        report.dropped = v->asUint();
+            }
+            continue;
+        }
+        if (phase != "B" && phase != "E" && phase != "i"
+            && phase != "C") {
+            report.problems.push_back("event " + std::to_string(at)
+                                      + ": unknown ph '" + phase + "'");
+            continue;
+        }
+        report.events++;
+
+        const Json *pid = ev.find("pid");
+        const Json *tid = ev.find("tid");
+        const Json *ts = ev.find("ts");
+        if (pid == nullptr || !pid->isNumber() || pid->asInt() < 0
+            || tid == nullptr || !tid->isNumber() || tid->asInt() < 0) {
+            report.problems.push_back(
+                "event " + std::to_string(at) + ": malformed pid/tid");
+            continue;
+        }
+        if (ts == nullptr || !ts->isNumber()) {
+            report.problems.push_back(
+                "event " + std::to_string(at) + ": missing ts");
+            continue;
+        }
+        const std::uint64_t tsNs = tsToNs(ts->asDouble());
+        TrackState &track = tracks[{pid->asInt(), tid->asInt()}];
+        if (track.seen && tsNs < track.lastNs)
+            report.nonMonotone++;
+        track.seen = true;
+        track.lastNs = std::max(track.lastNs, tsNs);
+
+        if (phase == "i" || phase == "C")
+            continue;
+
+        const Json *name = ev.find("name");
+        const std::string spanName =
+            name != nullptr && name->isString() ? name->asString() : "";
+        if (phase == "B") {
+            std::string detail;
+            if (const Json *args = ev.find("args"))
+                if (const Json *d = args->find("detail"))
+                    if (d->isString())
+                        detail = d->asString();
+            track.stack.push_back({spanName, detail, tsNs, 0});
+            continue;
+        }
+
+        // phase == "E"
+        if (track.stack.empty()) {
+            report.problems.push_back(
+                "event " + std::to_string(at) + ": E with no open B on "
+                "track " + std::to_string(pid->asInt()) + "/"
+                + std::to_string(tid->asInt()));
+            continue;
+        }
+        const OpenSpan span = track.stack.back();
+        track.stack.pop_back();
+        const std::uint64_t dur =
+            tsNs > span.beginNs ? tsNs - span.beginNs : 0;
+        const std::uint64_t self =
+            dur > span.childNs ? dur - span.childNs : 0;
+        if (!track.stack.empty())
+            track.stack.back().childNs += dur;
+
+        SpanStat &stat = report.spans[span.name];
+        stat.count++;
+        stat.totalNs += dur;
+        stat.selfNs += self;
+        if (span.name == "fault") {
+            report.faultCount++;
+            report.faultTotalNs += dur;
+        } else {
+            for (const OpenSpan &outer : track.stack) {
+                if (outer.name == "fault") {
+                    SpanStat &child = report.faultChildren[span.name];
+                    child.count++;
+                    child.totalNs += dur;
+                    child.selfNs += self;
+                    break;
+                }
+            }
+        }
+        if (span.name == "lock_wait") {
+            const std::string lock =
+                span.detail.empty() ? "(unnamed)" : span.detail;
+            report.lockWaits[lock]++;
+            report.lockWaitNs[lock] += dur;
+        }
+    }
+
+    for (const auto &[key, track] : tracks) {
+        for (const OpenSpan &span : track.stack) {
+            report.problems.push_back(
+                "unclosed B '" + span.name + "' on track "
+                + std::to_string(key.first) + "/"
+                + std::to_string(key.second));
+        }
+    }
+    return report;
+}
+
+namespace {
+
+std::string
+fmtUs(std::uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                  ns % 1000);
+    return buf;
+}
+
+} // namespace
+
+std::string
+formatTraceReport(const TraceReport &report, std::size_t topN)
+{
+    std::string out;
+    char line[256];
+
+    std::snprintf(line, sizeof(line),
+                  "events: %" PRIu64 "  dropped: %" PRIu64
+                  "  problems: %zu  ts-regressions: %" PRIu64 "\n",
+                  report.events, report.dropped, report.problems.size(),
+                  report.nonMonotone);
+    out += line;
+    if (report.dropped > 0) {
+        out += "warning: ring overflow dropped events; totals "
+               "undercount (raise DAXVM_TRACE_EVENTS)\n";
+    }
+
+    std::vector<std::pair<std::string, SpanStat>> byName(
+        report.spans.begin(), report.spans.end());
+    std::sort(byName.begin(), byName.end(), [](const auto &a,
+                                               const auto &b) {
+        if (a.second.selfNs != b.second.selfNs)
+            return a.second.selfNs > b.second.selfNs;
+        return a.first < b.first;
+    });
+
+    out += "\ntop spans by self virtual time:\n";
+    std::snprintf(line, sizeof(line), "  %-18s %10s %14s %14s %10s\n",
+                  "span", "count", "total_us", "self_us", "mean_ns");
+    out += line;
+    std::size_t shown = 0;
+    for (const auto &[name, stat] : byName) {
+        if (shown++ >= topN)
+            break;
+        std::snprintf(line, sizeof(line),
+                      "  %-18s %10" PRIu64 " %14s %14s %10" PRIu64 "\n",
+                      name.c_str(), stat.count,
+                      fmtUs(stat.totalNs).c_str(),
+                      fmtUs(stat.selfNs).c_str(),
+                      stat.count > 0 ? stat.totalNs / stat.count : 0);
+        out += line;
+    }
+
+    out += "\nper-fault latency breakdown:\n";
+    std::snprintf(line, sizeof(line),
+                  "  faults: %" PRIu64 "  total: %s us  mean: %" PRIu64
+                  " ns\n",
+                  report.faultCount, fmtUs(report.faultTotalNs).c_str(),
+                  report.faultCount > 0
+                      ? report.faultTotalNs / report.faultCount
+                      : 0);
+    out += line;
+    for (const auto &[name, stat] : report.faultChildren) {
+        const double pct = report.faultTotalNs > 0
+                               ? 100.0 * double(stat.totalNs)
+                                     / double(report.faultTotalNs)
+                               : 0.0;
+        std::snprintf(line, sizeof(line),
+                      "    %-16s %10" PRIu64 " %14s %6.1f%%\n",
+                      name.c_str(), stat.count,
+                      fmtUs(stat.totalNs).c_str(), pct);
+        out += line;
+    }
+
+    out += "\nlock wait attribution:\n";
+    for (const auto &[lock, ns] : report.lockWaitNs) {
+        std::snprintf(line, sizeof(line),
+                      "  %-20s %10" PRIu64 " waits %14s us\n",
+                      lock.c_str(), report.lockWaits.at(lock),
+                      fmtUs(ns).c_str());
+        out += line;
+    }
+    if (report.lockWaitNs.empty())
+        out += "  (no lock waits recorded)\n";
+
+    out += "\nreconciliation totals (ns):\n";
+    const auto total = [&](const char *name) -> std::uint64_t {
+        const auto it = report.spans.find(name);
+        return it != report.spans.end() ? it->second.totalNs : 0;
+    };
+    std::snprintf(line, sizeof(line),
+                  "  fault_total_ns=%" PRIu64 "\n"
+                  "  shootdown_total_ns=%" PRIu64 "\n"
+                  "  journal_commit_total_ns=%" PRIu64 "\n",
+                  report.faultTotalNs,
+                  total("shootdown") + total("shootdown_full"),
+                  total("journal_commit"));
+    out += line;
+
+    if (!report.problems.empty()) {
+        out += "\nproblems:\n";
+        std::size_t shownProblems = 0;
+        for (const std::string &p : report.problems) {
+            if (shownProblems++ >= 20) {
+                out += "  ... ("
+                    + std::to_string(report.problems.size() - 20)
+                    + " more)\n";
+                break;
+            }
+            out += "  " + p + "\n";
+        }
+    }
+    return out;
+}
+
+} // namespace dax::sim

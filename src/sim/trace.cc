@@ -25,6 +25,10 @@ traceCatName(TraceCat cat)
         return "daxvm";
       case TraceCat::Prezero:
         return "prezero";
+      case TraceCat::Latr:
+        return "latr";
+      case TraceCat::Lock:
+        return "lock";
       case TraceCat::kCount:
         break;
     }
@@ -83,6 +87,40 @@ Trace::log(TraceCat cat, Time now, const char *fmt, ...)
         std::fputs(line, sink_);
     else
         captured_ += line;
+}
+
+void
+Trace::event(TraceCat cat, std::uint32_t track, int core, Time now,
+             const char *fmt, ...)
+{
+    char body[512];
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(body, sizeof(body), fmt, args);
+    va_end(args);
+
+    if (enabled(cat)) {
+        char line[640];
+        std::snprintf(line, sizeof(line), "[%11.3f us] %s: %s\n",
+                      static_cast<double>(now) / 1e3, traceCatName(cat),
+                      body);
+        if (sink_ != nullptr)
+            std::fputs(line, sink_);
+        else
+            captured_ += line;
+    }
+    if (spans_.enabled(cat))
+        spans_.instant(cat, track, core, now, traceCatName(cat), body);
+}
+
+void
+Trace::reset()
+{
+    mask_ = 0;
+    sink_ = stderr;
+    captured_.clear();
+    spans_.disableAll();
+    spans_.clear();
 }
 
 } // namespace dax::sim

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "check/check.h"
+#include "sim/trace.h"
 
 namespace dax::sys {
 
@@ -82,10 +83,16 @@ System::System(const SystemConfig &config)
             zeroed.set(static_cast<double>(prezero_->zeroedBlocks()));
         }
     });
+
+    // Give this System its own process id in the span trace so that
+    // traces from sequential Systems (whose virtual clocks restart at
+    // zero) land on distinct, internally-monotone tracks.
+    sim::Trace::get().spans().attachProcess(&metrics_, "system");
 }
 
 System::~System()
 {
+    sim::Trace::get().spans().detachProcess(&metrics_);
     if (oracle_ != nullptr) {
         // Final leak sweep while every subsystem is still alive, then
         // detach the hooks so nothing fires into a dead oracle while

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "sim/trace.h"
 #include "vm/address_space.h"
 
 namespace dax::vm {
@@ -28,6 +29,7 @@ void
 AddressSpace::memRead(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
                       mem::Pattern pattern, void *dst, bool kernelCopy)
 {
+    DAX_SPAN(sim::TraceCat::Fault, cpu, "mem_read");
     vmm_.hub().drainDisruption(cpu);
     noteCore(cpu.coreId());
     const sim::Time begin = cpu.now();
@@ -76,6 +78,7 @@ AddressSpace::memWrite(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
                        mem::Pattern pattern, mem::WriteMode mode,
                        const void *src)
 {
+    DAX_SPAN(sim::TraceCat::Fault, cpu, "mem_write");
     vmm_.hub().drainDisruption(cpu);
     noteCore(cpu.coreId());
     const sim::Time begin = cpu.now();

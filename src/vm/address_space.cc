@@ -108,6 +108,7 @@ AddressSpace::mmap(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
         return 0;
     if (!vmm_.fs().exists(ino))
         return 0;
+    DAX_SPAN(sim::TraceCat::Mmap, cpu, "mmap");
     cpu.advance(vmm_.cm().syscall);
     noteCore(cpu.coreId());
     len = (len + mem::kPageSize - 1) / mem::kPageSize * mem::kPageSize;
@@ -196,6 +197,7 @@ AddressSpace::zapRange(sim::Cpu &cpu, Vma &vma, std::uint64_t start,
 bool
 AddressSpace::munmap(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len)
 {
+    DAX_SPAN(sim::TraceCat::Mmap, cpu, "munmap");
     cpu.advance(vmm_.cm().syscall);
     noteCore(cpu.coreId());
     const std::uint64_t end = va + len;
@@ -265,6 +267,7 @@ bool
 AddressSpace::mprotect(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
                        bool write)
 {
+    DAX_SPAN(sim::TraceCat::Mmap, cpu, "mprotect");
     cpu.advance(vmm_.cm().syscall);
     const std::uint64_t end = va + len;
 
@@ -338,6 +341,7 @@ AddressSpace::mprotect(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
 std::unique_ptr<AddressSpace>
 AddressSpace::fork(sim::Cpu &cpu)
 {
+    DAX_SPAN(sim::TraceCat::Mmap, cpu, "fork");
     cpu.advance(vmm_.cm().syscall);
     auto child = std::make_unique<AddressSpace>(vmm_);
     child->vaBump_ = vaBump_;
@@ -417,6 +421,7 @@ std::uint64_t
 AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
                      std::uint64_t oldLen, std::uint64_t newLen)
 {
+    DAX_SPAN(sim::TraceCat::Mmap, cpu, "mremap");
     cpu.advance(vmm_.cm().syscall);
     newLen = (newLen + mem::kPageSize - 1) / mem::kPageSize
            * mem::kPageSize;
@@ -518,6 +523,7 @@ AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
 bool
 AddressSpace::msync(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len)
 {
+    DAX_SPAN(sim::TraceCat::Mmap, cpu, "msync");
     cpu.advance(vmm_.cm().syscall);
     Vma *vma = findVma(va);
     if (vma == nullptr)

@@ -8,6 +8,7 @@
 #include <algorithm>
 
 #include "arch/pte.h"
+#include "sim/trace.h"
 #include "vm/address_space.h"
 
 namespace dax::vm {
@@ -200,6 +201,7 @@ void
 VmManager::syncFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t off,
                     std::uint64_t len)
 {
+    DAX_SPAN(sim::TraceCat::Mmap, cpu, "sync_file");
     fs::Inode &node = fs_.inode(ino);
     auto &iv = inodeVm(ino);
 

@@ -46,6 +46,7 @@ void
 AddressSpace::makeWritable(sim::Cpu &cpu, Vma &vma, std::uint64_t va,
                            unsigned pageShift)
 {
+    DAX_SPAN(sim::TraceCat::Fault, cpu, "wp_upgrade");
     const std::uint64_t span = 1ULL << pageShift;
     const std::uint64_t base = va / span * span;
     const int level = pageShift == 21   ? arch::kPmdLevel
@@ -90,7 +91,10 @@ AddressSpace::installTranslation(sim::Cpu &cpu, Vma &vma, std::uint64_t va,
     if (fileOff >= node.size) {
         return false; // SIGBUS: access beyond EOF
     }
-    vmm_.fs().chargeExtentLookup(cpu, node);
+    {
+        DAX_SPAN(sim::TraceCat::Fault, cpu, "pt_walk");
+        vmm_.fs().chargeExtentLookup(cpu, node);
+    }
 
     // Prefer a 2 MB mapping when file offset, virtual address and the
     // backing extent all line up (fragmentation breaks this on aged
@@ -127,9 +131,12 @@ AddressSpace::installTranslation(sim::Cpu &cpu, Vma &vma, std::uint64_t va,
         flags |= arch::pte::kWrite;
 
     const int level = asHuge ? arch::kPmdLevel : arch::kPteLevel;
-    const unsigned newPages = pt_.map(base, pa, level, flags);
-    cpu.advance(vmm_.cm().ptPageAlloc * newPages);
-    cpu.advance(asHuge ? vmm_.cm().pmdSet : vmm_.cm().pteSet);
+    {
+        DAX_SPAN(sim::TraceCat::Fault, cpu, "frame_alloc");
+        const unsigned newPages = pt_.map(base, pa, level, flags);
+        cpu.advance(vmm_.cm().ptPageAlloc * newPages);
+        cpu.advance(asHuge ? vmm_.cm().pmdSet : vmm_.cm().pteSet);
+    }
     if (trapped)
         vmm_.counters().majorFaults.addAt(cpu.coreId());
 
@@ -142,6 +149,7 @@ bool
 AddressSpace::handleFault(sim::Cpu &cpu, std::uint64_t va, bool write)
 {
     const sim::Time faultBegin = cpu.now();
+    DAX_SPAN(sim::TraceCat::Fault, cpu, "fault");
     cpu.advance(vmm_.cm().faultEntry);
     noteCore(cpu.coreId());
     vmm_.counters().faults.addAt(cpu.coreId());
@@ -167,6 +175,7 @@ AddressSpace::handleFault(sim::Cpu &cpu, std::uint64_t va, bool write)
         if (vma->daxvm) {
             // DaxVM attachment-level permission fault: dirty tracking
             // at 2 MB (or coarser) granularity (Section IV-D).
+            DAX_SPAN(sim::TraceCat::Fault, cpu, "wp_upgrade");
             const int level = vma->attachLevel >= 0 ? vma->attachLevel
                                                     : arch::kPmdLevel;
             const std::uint64_t span = arch::levelSpan(level);

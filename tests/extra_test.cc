@@ -364,9 +364,8 @@ TEST(Fork, EphemeralMappingsNotInherited)
 TEST(TraceExtra, CapturesEnabledCategoriesOnly)
 {
     auto &trace = sim::Trace::get();
-    trace.disableAll();
+    trace.reset();
     trace.setSink(nullptr); // capture mode
-    trace.clearCaptured();
     trace.enable(sim::TraceCat::Fault);
 
     Fixture f;
@@ -379,21 +378,25 @@ TEST(TraceExtra, CapturesEnabledCategoriesOnly)
     // mmap category was off: no mmap lines.
     EXPECT_EQ(out.find("mmap ino="), std::string::npos);
 
-    trace.disableAll();
-    trace.setSink(stderr);
-    trace.clearCaptured();
+    trace.reset();
 }
 
 TEST(TraceExtra, SpecParsing)
 {
     auto &trace = sim::Trace::get();
-    trace.disableAll();
+    trace.reset();
     trace.enableFromSpec("fault,daxvm");
     EXPECT_TRUE(trace.enabled(sim::TraceCat::Fault));
     EXPECT_TRUE(trace.enabled(sim::TraceCat::Daxvm));
     EXPECT_FALSE(trace.enabled(sim::TraceCat::Mmap));
-    trace.disableAll();
+    trace.reset();
+    trace.enableFromSpec("latr,lock");
+    EXPECT_TRUE(trace.enabled(sim::TraceCat::Latr));
+    EXPECT_TRUE(trace.enabled(sim::TraceCat::Lock));
+    EXPECT_FALSE(trace.enabled(sim::TraceCat::Fault));
+    trace.reset();
     trace.enableFromSpec("all");
     EXPECT_TRUE(trace.enabled(sim::TraceCat::Prezero));
-    trace.disableAll();
+    EXPECT_TRUE(trace.enabled(sim::TraceCat::Lock));
+    trace.reset();
 }

@@ -42,6 +42,8 @@ struct Options
     bool aged = true;
     double churn = 3.0;
     std::string jsonPath;
+    std::string tracePath;
+    std::string foldedPath;
 };
 
 void
@@ -60,7 +62,11 @@ usage(const char *argv0)
         "  --aged 0|1           age the image first (default 1)\n"
         "  --churn X            aging churn factor (default 3.0)\n"
         "  --json PATH          write a BenchResult JSON "
-        "(schema: docs/metrics.md)\n",
+        "(schema: docs/metrics.md)\n"
+        "  --trace PATH         write a Chrome trace_event span trace "
+        "(docs/tracing.md)\n"
+        "  --trace-folded PATH  write folded stacks (flamegraph "
+        "input)\n",
         argv0);
 }
 
@@ -267,11 +273,22 @@ main(int argc, char **argv)
             opt.churn = std::stod(value());
         else if (arg == "--json")
             opt.jsonPath = value();
+        else if (arg == "--trace")
+            opt.tracePath = value();
+        else if (arg == "--trace-folded")
+            opt.foldedPath = value();
         else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
         }
     }
+
+    // Start span recording before the System exists so its setup (and
+    // pid registration) is covered.
+    bench::result().tracePath = opt.tracePath;
+    bench::result().foldedPath = opt.foldedPath;
+    if (!opt.tracePath.empty() || !opt.foldedPath.empty())
+        sim::Trace::get().spans().enableAll();
 
     sys::SystemConfig config;
     config.cores = std::max(opt.threads, 1u);
