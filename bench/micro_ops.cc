@@ -7,7 +7,9 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <cstring>
+#include <unordered_map>
 
 #include "bench/common.h"
 #include "daxvm/api.h"
@@ -82,6 +84,151 @@ BM_MmuTranslate(benchmark::State &state)
     }
 }
 BENCHMARK(BM_MmuTranslate);
+
+/**
+ * Same access loop with the host walk cache disabled: every TLB miss
+ * takes the full radix walk. The BM_MmuTranslate/BM_MmuTranslateNoCache
+ * ratio is the "walk_loop" speedup gated by scripts/bench_diff.py perf.
+ */
+void
+BM_MmuTranslateNoCache(benchmark::State &state)
+{
+    sim::CostModel cm;
+    mem::Device dram(mem::Kind::Dram, 64ULL << 20, cm,
+                     mem::Backing::Sparse);
+    mem::FrameAllocator frames(dram, 0, 64ULL << 20);
+    arch::PageTable pt(frames);
+    for (std::uint64_t i = 0; i < 4096; i++)
+        pt.map(i * 4096, i * 4096, arch::kPteLevel, arch::pte::kWrite);
+    arch::Mmu mmu(cm, /*hostFastPaths=*/false);
+    arch::MmuPerf perf;
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::uint64_t va = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            mmu.translate(cpu, pt, va, false, 1, perf));
+        va = (va + 4096) % (4096 * 4096);
+    }
+}
+BENCHMARK(BM_MmuTranslateNoCache);
+
+/** Dirty lines scattered per iteration before each flushRange. */
+constexpr std::uint64_t kFlushLines = 256;
+
+/**
+ * Dirty-line persistence loop on the real Device: scattered cached
+ * stores into the volatile overlay, then one ranged clwb+sfence.
+ */
+void
+BM_DeviceFlushLoop(benchmark::State &state)
+{
+    sim::CostModel cm;
+    mem::Device pmem(mem::Kind::Pmem, 16ULL << 20, cm,
+                     mem::Backing::Sparse);
+    std::array<std::uint8_t, mem::kCacheLine> payload;
+    payload.fill(0xa5);
+    for (auto _ : state) {
+        for (std::uint64_t l = 0; l < kFlushLines; l++)
+            pmem.store(l * mem::kCacheLine, payload.data(),
+                       payload.size(), mem::WriteMode::Cached);
+        benchmark::DoNotOptimize(
+            pmem.flushRange(0, kFlushLines * mem::kCacheLine));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kFlushLines);
+}
+BENCHMARK(BM_DeviceFlushLoop);
+
+/**
+ * Reference overlay shaped like the pre-optimization Device: node-
+ * based unordered_maps for the dirty-line overlay AND the sparse page
+ * store, a per-call line list, and byte-at-a-time write-back where
+ * every dirty byte probes the page table separately. Kept here (not
+ * in src/) purely as the "flush_loop" speedup baseline.
+ */
+struct RefOverlay
+{
+    struct Line
+    {
+        std::array<std::uint8_t, mem::kCacheLine> data;
+        std::uint64_t mask = 0;
+    };
+
+    void
+    storeCached(std::uint64_t addr, const void *src, std::uint64_t n)
+    {
+        const auto *p = static_cast<const std::uint8_t *>(src);
+        while (n > 0) {
+            const std::uint64_t line = addr / mem::kCacheLine;
+            const std::uint64_t off = addr % mem::kCacheLine;
+            const std::uint64_t chunk =
+                n < mem::kCacheLine - off ? n : mem::kCacheLine - off;
+            Line &dl = dirty[line];
+            std::memcpy(dl.data.data() + off, p, chunk);
+            for (std::uint64_t i = 0; i < chunk; i++)
+                dl.mask |= 1ULL << (off + i);
+            addr += chunk;
+            p += chunk;
+            n -= chunk;
+        }
+    }
+
+    std::uint8_t *
+    pageForWrite(std::uint64_t addr)
+    {
+        auto &slot = pages[addr / mem::kPageSize];
+        if (!slot) {
+            slot = std::make_unique<std::uint8_t[]>(mem::kPageSize);
+            std::memset(slot.get(), 0, mem::kPageSize);
+        }
+        return slot.get();
+    }
+
+    std::uint64_t
+    flushRange(std::uint64_t addr, std::uint64_t n)
+    {
+        const std::uint64_t first = addr / mem::kCacheLine;
+        const std::uint64_t last = (addr + n - 1) / mem::kCacheLine;
+        std::vector<std::uint64_t> lines;
+        for (std::uint64_t l = first; l <= last; l++)
+            if (dirty.find(l) != dirty.end())
+                lines.push_back(l);
+        for (const std::uint64_t l : lines) {
+            const Line &dl = dirty[l];
+            for (unsigned i = 0; i < mem::kCacheLine; i++) {
+                if ((dl.mask & (1ULL << i)) == 0)
+                    continue;
+                const std::uint64_t a = l * mem::kCacheLine + i;
+                pageForWrite(a)[a % mem::kPageSize] = dl.data[i];
+            }
+            dirty.erase(l);
+        }
+        return lines.size();
+    }
+
+    std::unordered_map<std::uint64_t, Line> dirty;
+    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
+        pages;
+};
+
+/** Same loop as BM_DeviceFlushLoop against the reference overlay. */
+void
+BM_DeviceFlushLoopRef(benchmark::State &state)
+{
+    RefOverlay ref;
+    std::array<std::uint8_t, mem::kCacheLine> payload;
+    payload.fill(0xa5);
+    for (auto _ : state) {
+        for (std::uint64_t l = 0; l < kFlushLines; l++)
+            ref.storeCached(l * mem::kCacheLine, payload.data(),
+                            payload.size());
+        benchmark::DoNotOptimize(
+            ref.flushRange(0, kFlushLines * mem::kCacheLine));
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) * kFlushLines);
+}
+BENCHMARK(BM_DeviceFlushLoopRef);
 
 void
 BM_DaxVmMmapMunmap(benchmark::State &state)
@@ -190,6 +337,67 @@ class CaptureReporter : public benchmark::ConsoleReporter
                            {bench::Series{"real_ns", {}}}};
 };
 
+/** Adjusted real ns of benchmark @p name in the captured figure. */
+double
+nsOf(const bench::FigureData &fig, const std::string &name)
+{
+    for (std::size_t i = 0; i < fig.xs.size(); i++)
+        if (fig.xs[i] == name && i < fig.series[0].values.size())
+            return fig.series[0].values[i];
+    return 0.0;
+}
+
+/**
+ * Serialize the host-perf baseline (schema daxvm-bench-perf-v1):
+ * per-primitive ns, the machine-independent fast/reference speedup
+ * ratios CI gates on, and the engine's simulated-events-per-second.
+ * See docs/performance.md for the schema and gating policy.
+ */
+bool
+writePerfJson(const std::string &path, const bench::FigureData &fig)
+{
+    sim::Json root = sim::Json::object();
+    root["schema"] = sim::Json("daxvm-bench-perf-v1");
+    root["bench"] = sim::Json("micro_ops");
+
+    sim::Json prim = sim::Json::object();
+    for (std::size_t i = 0; i < fig.xs.size(); i++)
+        if (i < fig.series[0].values.size())
+            prim[fig.xs[i]] = sim::Json(fig.series[0].values[i]);
+    root["primitives_ns"] = std::move(prim);
+
+    sim::Json speedups = sim::Json::object();
+    auto pair = [&](const char *key, const char *fast, const char *ref) {
+        const double fastNs = nsOf(fig, fast);
+        const double refNs = nsOf(fig, ref);
+        sim::Json s = sim::Json::object();
+        s["fast_ns"] = sim::Json(fastNs);
+        s["ref_ns"] = sim::Json(refNs);
+        s["ratio"] = sim::Json(fastNs > 0 ? refNs / fastNs : 0.0);
+        s["min_ratio"] = sim::Json(1.5);
+        speedups[key] = std::move(s);
+    };
+    pair("walk_loop", "BM_MmuTranslate", "BM_MmuTranslateNoCache");
+    pair("flush_loop", "BM_DeviceFlushLoop", "BM_DeviceFlushLoopRef");
+    root["speedups"] = std::move(speedups);
+
+    // One BM_EngineRun16Threads iteration is 16 threads x 1000 quanta.
+    const double engineNs = nsOf(fig, "BM_EngineRun16Threads");
+    root["events_per_sec"] =
+        sim::Json(engineNs > 0 ? 16000.0 * 1e9 / engineNs : 0.0);
+
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return false;
+    }
+    const std::string text = root.dump(2);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    return true;
+}
+
 } // namespace
 
 int
@@ -199,11 +407,14 @@ main(int argc, char **argv)
     // rest of the command line.
     std::vector<char *> args;
     std::string jsonPath;
+    std::string perfPath;
     std::string tracePath;
     std::string foldedPath;
     for (int i = 0; i < argc; i++) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             jsonPath = argv[++i];
+        else if (std::strcmp(argv[i], "--perf-json") == 0 && i + 1 < argc)
+            perfPath = argv[++i];
         else if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc)
             tracePath = argv[++i];
         else if (std::strcmp(argv[i], "--trace-folded") == 0
@@ -231,6 +442,9 @@ main(int argc, char **argv)
     // Wall-clock rows go in the "host" section; the deterministic
     // "figures" section stays empty so the run can join the
     // determinism sweep.
-    bench::result().hostFigures.push_back(reporter.takeFigure());
+    bench::FigureData fig = reporter.takeFigure();
+    if (!perfPath.empty() && !writePerfJson(perfPath, fig))
+        return 1;
+    bench::result().hostFigures.push_back(std::move(fig));
     return bench::finish();
 }

@@ -10,6 +10,16 @@ Every bench binary emits a BenchResult JSON (schema
   validate FILE...       schema-check BenchResult or aggregate files
   diff OLD NEW           compare two aggregates figure-by-figure and
                          fail (exit 1) on regressions past --threshold
+  perf FILE...           schema-check host-perf baselines (schema
+                         daxvm-bench-perf-v1, emitted by
+                         micro_ops --perf-json) and fail when any
+                         fast/reference speedup ratio is below its
+                         required min_ratio
+  perf-diff OLD NEW      compare two host-perf baselines; gate on the
+                         machine-portable speedup ratios (lower is a
+                         regression, generous --threshold default 25%
+                         for runner noise); raw ns and events/sec are
+                         reported but never gate (machine-dependent)
   selftest               exercise diff on synthetic data (a clean pair
                          must pass, a 20% regression must be caught)
 
@@ -30,7 +40,9 @@ import sys
 
 RESULT_SCHEMA = "daxvm-bench-result-v1"
 AGGREGATE_SCHEMA = "daxvm-bench-aggregate-v1"
+PERF_SCHEMA = "daxvm-bench-perf-v1"
 DEFAULT_THRESHOLD = 10.0  # percent
+PERF_DEFAULT_THRESHOLD = 25.0  # percent; host timing is noisy
 # Host-time benches: never gate on them.
 WALL_CLOCK_BENCHES = {"micro_ops"}
 
@@ -256,6 +268,168 @@ def cmd_diff(args):
     return 0
 
 
+# --------------------------------------------------------------------- perf
+
+
+def finite_number(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool) \
+        and math.isfinite(v)
+
+
+def validate_perf(doc, name):
+    """Return a list of problems with one daxvm-bench-perf-v1 document."""
+    problems = []
+    if doc.get("schema") != PERF_SCHEMA:
+        problems.append(
+            f"{name}: schema is {doc.get('schema')!r}, want {PERF_SCHEMA!r}")
+    if not isinstance(doc.get("bench"), str):
+        problems.append(f"{name}: missing 'bench'")
+    prim = doc.get("primitives_ns")
+    if not isinstance(prim, dict) or not prim:
+        problems.append(f"{name}: 'primitives_ns' missing or empty")
+    else:
+        for key, v in sorted(prim.items()):
+            if not finite_number(v) or v < 0:
+                problems.append(f"{name}: primitives_ns[{key!r}] invalid")
+    speedups = doc.get("speedups")
+    if not isinstance(speedups, dict) or not speedups:
+        problems.append(f"{name}: 'speedups' missing or empty")
+    else:
+        for key, s in sorted(speedups.items()):
+            if not isinstance(s, dict):
+                problems.append(f"{name}: speedups[{key!r}] not an object")
+                continue
+            for field in ("fast_ns", "ref_ns", "ratio", "min_ratio"):
+                if not finite_number(s.get(field)) or s.get(field) <= 0:
+                    problems.append(
+                        f"{name}: speedups[{key!r}].{field} invalid")
+    if not finite_number(doc.get("events_per_sec")) \
+            or doc.get("events_per_sec") <= 0:
+        problems.append(f"{name}: 'events_per_sec' invalid")
+    return problems
+
+
+def perf_gate(doc):
+    """Speedup ratios below their required minimum, as failure strings."""
+    failures = []
+    for key, s in sorted(doc.get("speedups", {}).items()):
+        if not isinstance(s, dict):
+            continue
+        ratio = s.get("ratio", 0.0)
+        required = s.get("min_ratio", 0.0)
+        if finite_number(ratio) and finite_number(required) \
+                and ratio < required:
+            failures.append(
+                f"{key}: speedup {ratio:.2f}x below required "
+                f"{required:.2f}x")
+    return failures
+
+
+def cmd_perf(args):
+    problems = []
+    for path in args.files:
+        name = os.path.basename(path)
+        try:
+            doc = load(path)
+        except (OSError, json.JSONDecodeError) as e:
+            problems.append(f"{path}: unreadable: {e}")
+            continue
+        doc_problems = validate_perf(doc, name)
+        problems += doc_problems
+        if doc_problems:
+            continue
+        for key, s in sorted(doc["speedups"].items()):
+            print(f"perf: {name}: {key} {s['ratio']:.2f}x "
+                  f"(required >= {s['min_ratio']:.2f}x)")
+        print(f"perf: {name}: events_per_sec "
+              f"{doc['events_per_sec']:.0f}")
+        problems += [f"{name}: {f}" for f in perf_gate(doc)]
+    for p in problems:
+        print(f"bench_diff: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print(f"perf: {len(args.files)} file(s) OK")
+    return 0
+
+
+def perf_diff_results(old, new, threshold):
+    """Compare two perf baselines; return (regressions, report_lines)."""
+    regressions = []
+    lines = []
+
+    def pct_change(base, v):
+        return 100.0 * (v - base) / abs(base)
+
+    old_speed = old.get("speedups", {})
+    new_speed = new.get("speedups", {})
+    for key in sorted(set(old_speed) | set(new_speed)):
+        if key not in new_speed:
+            lines.append(f"speedups.{key}: MISSING from new baseline")
+            regressions.append(f"speedups.{key}: disappeared")
+            continue
+        if key not in old_speed:
+            lines.append(f"speedups.{key}: new (no baseline)")
+            continue
+        base = old_speed[key].get("ratio")
+        v = new_speed[key].get("ratio")
+        if not finite_number(base) or not finite_number(v) or base == 0:
+            continue
+        pct = pct_change(base, v)
+        regressed = pct < -threshold
+        if abs(pct) > threshold or regressed:
+            marker = " REGRESSION" if regressed else ""
+            lines.append(f"speedups.{key}.ratio: {base:.2f}x -> "
+                         f"{v:.2f}x ({pct:+.1f}%){marker}")
+        if regressed:
+            regressions.append(f"speedups.{key}.ratio {pct:+.1f}%")
+
+    # Raw ns and events/sec depend on the machine the baseline was
+    # generated on: report large swings, never gate.
+    base = old.get("events_per_sec")
+    v = new.get("events_per_sec")
+    if finite_number(base) and finite_number(v) and base != 0:
+        pct = pct_change(base, v)
+        if abs(pct) > threshold:
+            lines.append(f"events_per_sec: {base:.0f} -> {v:.0f} "
+                         f"({pct:+.1f}%) [informational]")
+    old_prim = old.get("primitives_ns", {})
+    new_prim = new.get("primitives_ns", {})
+    for key in sorted(set(old_prim) & set(new_prim)):
+        base, v = old_prim[key], new_prim[key]
+        if not finite_number(base) or not finite_number(v) or base == 0:
+            continue
+        pct = pct_change(base, v)
+        if abs(pct) > threshold:
+            lines.append(f"primitives_ns.{key}: {base:.1f} -> {v:.1f} "
+                         f"({pct:+.1f}%) [informational]")
+    return regressions, lines
+
+
+def cmd_perf_diff(args):
+    try:
+        old = load(args.old)
+        new = load(args.new)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"perf-diff: {e}")
+    problems = validate_perf(old, args.old) + validate_perf(new, args.new)
+    if problems:
+        for p in problems:
+            print(f"bench_diff: {p}", file=sys.stderr)
+        return 1
+    regressions, lines = perf_diff_results(old, new, args.threshold)
+    for line in lines:
+        print(line)
+    if regressions:
+        print(f"perf-diff: {len(regressions)} regression(s) past "
+              f"{args.threshold:.1f}%:", file=sys.stderr)
+        for r in regressions:
+            print(f"  {r}", file=sys.stderr)
+        return 1
+    print(f"perf-diff: no speedup regressions past "
+          f"{args.threshold:.1f}%")
+    return 0
+
+
 # ----------------------------------------------------------------- selftest
 
 
@@ -290,6 +464,25 @@ def synthetic(values):
                             "histograms": {}},
             }
         },
+    }
+
+
+def synthetic_perf(walk_ratio, flush_ratio):
+    """A minimal daxvm-bench-perf-v1 document."""
+    return {
+        "schema": PERF_SCHEMA,
+        "bench": "micro_ops",
+        "primitives_ns": {"BM_MmuTranslate": 100.0,
+                          "BM_DeviceFlushLoop": 30000.0},
+        "speedups": {
+            "walk_loop": {"fast_ns": 100.0,
+                          "ref_ns": 100.0 * walk_ratio,
+                          "ratio": walk_ratio, "min_ratio": 1.5},
+            "flush_loop": {"fast_ns": 30000.0,
+                           "ref_ns": 30000.0 * flush_ratio,
+                           "ratio": flush_ratio, "min_ratio": 1.5},
+        },
+        "events_per_sec": 25e6,
     }
 
 
@@ -328,6 +521,33 @@ def cmd_selftest(args):
     checks.append(("length mismatch rejected",
                    bool(validate_doc(broken, "selftest-broken"))))
 
+    # Host-perf baseline logic.
+    perf = synthetic_perf(1.8, 2.6)
+    checks.append(("perf baseline validates",
+                   not validate_perf(perf, "selftest-perf")))
+    checks.append(("perf ratios above minimum pass", not perf_gate(perf)))
+    checks.append(("perf ratio below minimum caught",
+                   len(perf_gate(synthetic_perf(1.2, 2.6))) == 1))
+
+    # perf-diff: identical pair passes, a >25% ratio drop is caught,
+    # improvements and machine-dependent ns swings never gate.
+    regs, _ = perf_diff_results(perf, synthetic_perf(1.8, 2.6),
+                                PERF_DEFAULT_THRESHOLD)
+    checks.append(("perf-diff identical pair passes", not regs))
+    regs, _ = perf_diff_results(perf, synthetic_perf(1.8, 1.7),
+                                PERF_DEFAULT_THRESHOLD)
+    checks.append(("perf-diff ratio drop caught", len(regs) == 1))
+    regs, _ = perf_diff_results(perf, synthetic_perf(3.0, 4.0),
+                                PERF_DEFAULT_THRESHOLD)
+    checks.append(("perf-diff improvements pass", not regs))
+    slower_host = synthetic_perf(1.8, 2.6)
+    for key in slower_host["primitives_ns"]:
+        slower_host["primitives_ns"][key] *= 2.0
+    slower_host["events_per_sec"] /= 2.0
+    regs, _ = perf_diff_results(perf, slower_host,
+                                PERF_DEFAULT_THRESHOLD)
+    checks.append(("perf-diff raw ns never gates", not regs))
+
     ok = True
     for name, passed in checks:
         print(f"selftest: {'PASS' if passed else 'FAIL'}: {name}")
@@ -354,6 +574,20 @@ def main(argv=None):
     p.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                    help="regression threshold in percent (default 10)")
     p.set_defaults(func=cmd_diff)
+
+    p = sub.add_parser("perf", help="validate host-perf baselines and "
+                                    "gate on speedup minimums")
+    p.add_argument("files", nargs="+")
+    p.set_defaults(func=cmd_perf)
+
+    p = sub.add_parser("perf-diff", help="compare two host-perf baselines")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.add_argument("--threshold", type=float,
+                   default=PERF_DEFAULT_THRESHOLD,
+                   help="speedup-ratio regression threshold in percent "
+                        "(default 25)")
+    p.set_defaults(func=cmd_perf_diff)
 
     p = sub.add_parser("selftest", help="verify diff/validate logic")
     p.set_defaults(func=cmd_selftest)

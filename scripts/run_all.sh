@@ -27,15 +27,37 @@ if [ "$rc" -ne 0 ]; then
     exit "$rc"
 fi
 
-: > bench_output.txt
-for b in build/bench/*; do
+# Run the bench binaries concurrently (each is single-threaded and
+# deterministic; they share nothing but the output directory), bounded
+# by BENCH_JOBS (default: all cores). Output is buffered per bench and
+# printed / aggregated strictly in sorted bench-name order, so stdout,
+# bench_output.txt and BENCH_results.json are byte-identical no matter
+# which bench finishes first.
+JOBS="${BENCH_JOBS:-$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)}"
+export OUT
+benches=$(for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
-    name=$(basename "$b")
+    basename "$b"
+done | sort)
+
+# Each worker records its exit status in $OUT/$name.rc and always
+# exits 0 itself, so one failing bench never aborts xargs mid-fleet;
+# the ordered report loop below surfaces the first failure.
+printf '%s\n' $benches | xargs -P "$JOBS" -n 1 sh -c '
+    name="$1"
+    build/bench/"$name" --json "$OUT/$name.json" \
+        > "$OUT/$name.out" 2>&1
+    echo $? > "$OUT/$name.rc"
+' run-bench
+
+: > bench_output.txt
+for name in $benches; do
     echo "===== $name ====="
     echo "===== $name =====" >> bench_output.txt
-    "$b" --json "$OUT/$name.json" > "$OUT/$name.out" 2>&1 && rc=0 || rc=$?
     cat "$OUT/$name.out"
     cat "$OUT/$name.out" >> bench_output.txt
+    rc=$(cat "$OUT/$name.rc")
+    rm -f "$OUT/$name.rc"
     if [ "$rc" -ne 0 ]; then
         echo "FAILED: $name (exit $rc)" >&2
         exit "$rc"

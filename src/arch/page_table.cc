@@ -9,8 +9,13 @@
 
 namespace dax::arch {
 
+namespace {
+/** Simulation is single-threaded on the host; plain counter is fine. */
+std::uint64_t nextTableUid = 1;
+} // namespace
+
 PageTable::PageTable(mem::FrameAllocator &meta)
-    : meta_(meta)
+    : meta_(meta), uid_(nextTableUid++)
 {
     root_ = newNode(/*leaf=*/false);
 }
@@ -97,8 +102,11 @@ PageTable::map(std::uint64_t va, std::uint64_t pa, int level, Pte flags)
     Node *node = walkTo(va, level, /*create=*/true, &newPages);
     const unsigned idx = levelIndex(va, level);
     Pte e = pte::make(pa, flags | pte::kPresent | pte::kUser);
-    if (level > kPteLevel)
+    if (level > kPteLevel) {
         e |= pte::kHuge;
+        // A huge leaf can shadow a PTE subtree a walk cache captured.
+        structureGen_++;
+    }
     node->setEntry(idx, e);
     return newPages;
 }
@@ -112,6 +120,8 @@ PageTable::clear(std::uint64_t va, int level)
     const unsigned idx = levelIndex(va, level);
     const Pte old = node->entry(idx);
     node->setEntry(idx, 0);
+    if (level > kPteLevel)
+        structureGen_++;
     return old;
 }
 
@@ -127,6 +137,8 @@ PageTable::setFlags(std::uint64_t va, int level, Pte set, Pte clearMask)
         return false;
     e = (e & ~clearMask) | set;
     node->setEntry(idx, e);
+    if (level > kPteLevel)
+        structureGen_++;
     return true;
 }
 
@@ -136,10 +148,18 @@ PageTable::lookup(std::uint64_t va) const
     WalkResult res;
     const Node *node = root_;
     bool writable = true;
+    bool privatePath = !node->shared;
     for (int l = kPgdLevel; l >= kPteLevel; l--) {
         res.levelsTouched++;
         const unsigned idx = levelIndex(va, l);
         const Pte e = node->entry(idx);
+        if (l == kPteLevel && privatePath) {
+            // The path to this leaf table is all process-owned: a walk
+            // cache may capture it (upperWritable excludes the leaf
+            // entry, which cached walks re-read).
+            res.pteNode = node;
+            res.upperWritable = writable;
+        }
         if (!pte::present(e))
             return res;
         writable = writable && pte::writable(e);
@@ -159,6 +179,7 @@ PageTable::lookup(std::uint64_t va) const
         node = node->child[idx];
         if (node == nullptr)
             return res; // present interior entry without mirror: corrupt
+        privatePath = privatePath && !node->shared;
     }
     return res;
 }
@@ -181,6 +202,7 @@ PageTable::attach(std::uint64_t va, int level, Node *foreign, bool writable)
     if (writable)
         e |= pte::kWrite;
     node->setEntry(idx, e);
+    structureGen_++;
     return newPages;
 }
 
@@ -197,6 +219,7 @@ PageTable::detach(std::uint64_t va, int level)
     Node *foreign = node->child[idx];
     node->child[idx] = nullptr;
     node->setEntry(idx, 0);
+    structureGen_++;
     return foreign;
 }
 
@@ -222,6 +245,7 @@ PageTable::setAttachmentWritable(std::uint64_t va, int level, bool writable)
         return false;
     e = writable ? (e | pte::kWrite) : (e & ~pte::kWrite);
     node->setEntry(idx, e);
+    structureGen_++;
     return true;
 }
 

@@ -66,6 +66,15 @@ struct WalkResult
     std::uint64_t leafPteAddr = 0;
     /** Levels traversed (4 normal, fewer for huge mappings). */
     int levelsTouched = 0;
+    /**
+     * PTE-level node the walk ended in, for the host-side walk cache.
+     * Only set when the whole path is owned by the walked table (no
+     * shared file-table fragments, whose owner may restructure them),
+     * and the walk reached PTE level -- huge leaves stay null.
+     */
+    const Node *pteNode = nullptr;
+    /** AND of writability across interior levels (leaf excluded). */
+    bool upperWritable = false;
 };
 
 class PageTable
@@ -122,6 +131,22 @@ class PageTable
     /** Table pages currently owned by this tree (excl. attachments). */
     std::uint64_t ownedNodes() const { return ownedNodes_; }
 
+    /**
+     * Identity tag for host-side walk caches: unique across every
+     * PageTable ever constructed (a deterministic counter, so a cache
+     * entry can never alias a recycled table address).
+     */
+    std::uint64_t uid() const { return uid_; }
+
+    /**
+     * Structural generation: bumped whenever interior structure that a
+     * cached walk path may have captured changes (new/cleared interior
+     * or huge entries, attach/detach, attachment permission flips).
+     * Leaf PTE mutations do not bump it -- cached paths re-read the
+     * leaf entry from device bytes on every use.
+     */
+    std::uint64_t structureGen() const { return structureGen_; }
+
     Node *root() { return root_; }
     const Node *root() const { return root_; }
 
@@ -136,6 +161,8 @@ class PageTable
     mem::FrameAllocator &meta_;
     Node *root_;
     std::uint64_t ownedNodes_ = 0;
+    std::uint64_t uid_;
+    std::uint64_t structureGen_ = 0;
 };
 
 } // namespace dax::arch

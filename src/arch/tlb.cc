@@ -158,9 +158,22 @@ Mmu::translate(sim::Cpu &cpu, const PageTable &pt, std::uint64_t va,
         return res;
     }
 
-    // Miss: hardware page walk.
+    // Miss: hardware page walk. The host-side walk cache skips
+    // re-deriving the upper levels when it holds the path; the
+    // resulting WalkResult (and so every simulated cost below) is
+    // identical to a full lookup of the same table state.
     perf.tlbMisses++;
-    const WalkResult walk = pt.lookup(va);
+    WalkResult walk;
+    if (fastPaths_) {
+        if (const WalkCache::Entry *e = walkCache_.lookup(pt, va)) {
+            walk = walkCache_.walkFrom(*e, va);
+        } else {
+            walk = pt.lookup(va);
+            walkCache_.fill(pt, va, walk);
+        }
+    } else {
+        walk = pt.lookup(va);
+    }
     sim::Time cost = cm_.walkUpperLevels;
     if (walk.levelsTouched > 0 || !walk.present) {
         const std::uint64_t line = walk.leafPteAddr / mem::kCacheLine;

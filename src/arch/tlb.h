@@ -18,6 +18,7 @@
 
 #include "arch/page_table.h"
 #include "arch/perf.h"
+#include "arch/walk_cache.h"
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 
@@ -88,7 +89,17 @@ class Tlb
 class Mmu
 {
   public:
-    explicit Mmu(const sim::CostModel &cm) : cm_(cm) {}
+    /**
+     * @param hostFastPaths enable the host-side walk cache. Purely a
+     * host-time optimization: simulated cost/perf accounting is
+     * computed from a WalkResult that is bit-identical either way
+     * (SystemConfig::hostFastPaths / DAXVM_HOST_FAST=0 is the escape
+     * hatch, proven by the golden-equivalence test).
+     */
+    explicit Mmu(const sim::CostModel &cm, bool hostFastPaths = true)
+        : cm_(cm), fastPaths_(hostFastPaths)
+    {
+    }
 
     enum class Outcome
     {
@@ -114,10 +125,15 @@ class Mmu
 
     Tlb &tlb() { return tlb_; }
 
+    /** Host-side walk cache (diagnostics for tests). */
+    const WalkCache &walkCache() const { return walkCache_; }
+
   private:
     const sim::CostModel &cm_;
     Tlb tlb_;
     std::uint64_t lastLeafLine_ = ~0ULL;
+    WalkCache walkCache_;
+    bool fastPaths_;
 };
 
 } // namespace dax::arch

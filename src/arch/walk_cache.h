@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Host-side paging-structure-cache analog.
+ *
+ * Hardware walkers keep PML4E/PDPTE/PDE caches so a TLB miss usually
+ * costs one leaf PTE fetch, not four dependent loads. The simulator's
+ * functional walk pays the same shape of cost on the *host*: four
+ * device loadWord() probes per PageTable::lookup(). This cache keys
+ * the upper three levels of a walk on the 2 MB region (va >> 21) and
+ * remembers the PTE-level node they lead to, so a repeat walk only
+ * re-reads the leaf entry from device bytes.
+ *
+ * It is purely a host optimization and must never change simulated
+ * output:
+ *  - entries are tagged with the PageTable's uid and structural
+ *    generation, so any interior mutation (munmap of huge ranges,
+ *    attach/detach, fork teardown, ASID reuse after table destruction)
+ *    silently invalidates them without deref of the stale node;
+ *  - leaf PTEs are re-read on every hit, so PTE-level mutations
+ *    (4 KB map/clear/permission flips) need no invalidation at all;
+ *  - paths through shared file-table fragments are never cached
+ *    (PageTable::lookup leaves WalkResult::pteNode null for them).
+ *
+ * The hit/fill counters are host-side diagnostics for tests and stay
+ * out of the metrics registry, keeping snapshots bit-identical with
+ * the cache disabled.
+ */
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "arch/page_table.h"
+
+namespace dax::arch {
+
+class WalkCache
+{
+  public:
+    /** Direct-mapped on the low PMD-index bits of the 2 MB region. */
+    static constexpr unsigned kEntries = 64;
+
+    struct Entry
+    {
+        std::uint64_t tag = ~0ULL; // va >> 21
+        std::uint64_t tableUid = 0;
+        std::uint64_t tableGen = 0;
+        const Node *pteNode = nullptr;
+        bool upperWritable = false;
+    };
+
+    /** Cached leaf node for @p va in @p pt, or nullptr. */
+    const Entry *
+    lookup(const PageTable &pt, std::uint64_t va) const
+    {
+        const Entry &e = entries_[slot(va)];
+        if (e.pteNode != nullptr && e.tag == va >> 21
+            && e.tableUid == pt.uid() && e.tableGen == pt.structureGen())
+            return &e;
+        return nullptr;
+    }
+
+    /** Capture the upper levels of a completed walk. */
+    void
+    fill(const PageTable &pt, std::uint64_t va, const WalkResult &walk)
+    {
+        if (walk.pteNode == nullptr)
+            return; // huge leaf, aborted interior, or shared path
+        Entry &e = entries_[slot(va)];
+        e.tag = va >> 21;
+        e.tableUid = pt.uid();
+        e.tableGen = pt.structureGen();
+        e.pteNode = walk.pteNode;
+        e.upperWritable = walk.upperWritable;
+        fills_++;
+    }
+
+    /**
+     * Rebuild a WalkResult from a cached path, reading only the leaf
+     * entry. Field-for-field identical to what a full
+     * PageTable::lookup() of the same state returns.
+     */
+    WalkResult
+    walkFrom(const Entry &e, std::uint64_t va)
+    {
+        hits_++;
+        WalkResult res;
+        res.levelsTouched = kLevels;
+        res.pteNode = e.pteNode;
+        res.upperWritable = e.upperWritable;
+        const unsigned idx = levelIndex(va, kPteLevel);
+        const Pte leaf = e.pteNode->entry(idx);
+        if (!pte::present(leaf))
+            return res;
+        res.present = true;
+        res.pageShift = levelShift(kPteLevel);
+        res.paddr = pte::addr(leaf) + (va & (levelSpan(kPteLevel) - 1));
+        res.dram = pte::inDram(leaf);
+        res.leafInDram = e.pteNode->dev->kind() == mem::Kind::Dram;
+        res.leafPteAddr = e.pteNode->frame + idx * sizeof(Pte);
+        res.writable = e.upperWritable && pte::writable(leaf);
+        return res;
+    }
+
+    void
+    flush()
+    {
+        entries_.fill(Entry{});
+    }
+
+    /** Host-side diagnostics (never exported to metrics). */
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t fills() const { return fills_; }
+
+  private:
+    static unsigned
+    slot(std::uint64_t va)
+    {
+        return static_cast<unsigned>(va >> 21) & (kEntries - 1);
+    }
+
+    std::array<Entry, kEntries> entries_{};
+    std::uint64_t hits_ = 0;
+    std::uint64_t fills_ = 0;
+};
+
+} // namespace dax::arch

@@ -4,6 +4,7 @@
  */
 #include "fs/block_alloc.h"
 
+#include <cstddef>
 #include <stdexcept>
 
 namespace dax::fs {
@@ -13,13 +14,12 @@ BlockAllocator::BlockAllocator(std::uint64_t nBlocks, std::uint64_t baseAddr)
 {
     if (nBlocks == 0)
         throw std::invalid_argument("allocator needs blocks");
-    freeMap_[0] = nBlocks;
+    freeMap_.emplace(0, nBlocks);
     freeBlocks_ = nBlocks;
 }
 
 void
-BlockAllocator::insertFree(std::map<std::uint64_t, std::uint64_t> &map,
-                           const Extent &extent)
+BlockAllocator::insertFree(ExtentMap &map, const Extent &extent)
 {
     auto [it, inserted] = map.emplace(extent.block, extent.count);
     if (!inserted)
@@ -42,9 +42,9 @@ BlockAllocator::insertFree(std::map<std::uint64_t, std::uint64_t> &map,
 }
 
 std::vector<Extent>
-BlockAllocator::carve(std::map<std::uint64_t, std::uint64_t> &map,
-                      std::uint64_t count, std::uint64_t goal,
-                      std::uint64_t &pool, bool hugeAligned)
+BlockAllocator::carve(ExtentMap &map, std::uint64_t count,
+                      std::uint64_t goal, std::uint64_t &pool,
+                      bool hugeAligned)
 {
     std::vector<Extent> out;
     if (count == 0 || pool < count)
@@ -208,30 +208,42 @@ BlockAllocator::freeZeroed(const Extent &extent)
 }
 
 std::uint64_t
-BlockAllocator::removeRange(std::map<std::uint64_t, std::uint64_t> &map,
-                            std::uint64_t start, std::uint64_t count)
+BlockAllocator::removeRange(ExtentMap &map, std::uint64_t start,
+                            std::uint64_t count)
 {
     const std::uint64_t end = start + count;
     std::uint64_t removed = 0;
 
-    auto it = map.upper_bound(start);
-    if (it != map.begin())
-        --it;
-    while (it != map.end() && it->first < end) {
+    // Index-based: ExtentMap mutation invalidates vector iterators, so
+    // the cursor is re-derived from the index each pass.
+    std::size_t i =
+        static_cast<std::size_t>(map.upper_bound(start) - map.begin());
+    if (i > 0)
+        --i;
+    while (i < map.size()) {
+        auto it = map.begin() + static_cast<std::ptrdiff_t>(i);
         const std::uint64_t runStart = it->first;
+        if (runStart >= end)
+            break;
         const std::uint64_t runEnd = runStart + it->second;
         if (runEnd <= start) {
-            ++it;
+            ++i;
             continue;
         }
         const std::uint64_t cutStart = runStart > start ? runStart : start;
         const std::uint64_t cutEnd = runEnd < end ? runEnd : end;
         removed += cutEnd - cutStart;
-        it = map.erase(it);
-        if (runStart < cutStart)
+        map.erase(it);
+        // Surviving head/tail pieces re-insert in front of the cursor;
+        // step past them so the scan resumes at the next original run.
+        if (runStart < cutStart) {
             map.emplace(runStart, cutStart - runStart);
-        if (cutEnd < runEnd)
-            it = map.emplace(cutEnd, runEnd - cutEnd).first;
+            ++i;
+        }
+        if (cutEnd < runEnd) {
+            map.emplace(cutEnd, runEnd - cutEnd);
+            ++i;
+        }
     }
     return removed;
 }
@@ -240,7 +252,7 @@ std::uint64_t
 BlockAllocator::rebuildFrom(const std::vector<Extent> &allocated)
 {
     freeMap_.clear();
-    freeMap_[0] = totalBlocks_;
+    freeMap_.emplace(0, totalBlocks_);
     freeBlocks_ = totalBlocks_;
     zeroedMap_.clear();
     zeroedBlocks_ = 0;
@@ -297,8 +309,7 @@ std::vector<std::string>
 BlockAllocator::check() const
 {
     std::vector<std::string> problems;
-    auto audit = [&](const char *name,
-                     const std::map<std::uint64_t, std::uint64_t> &map,
+    auto audit = [&](const char *name, const ExtentMap &map,
                      std::uint64_t counter) {
         std::uint64_t sum = 0;
         std::uint64_t prevEnd = 0;

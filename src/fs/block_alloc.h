@@ -16,12 +16,12 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "fs/extent.h"
+#include "fs/extent_map.h"
 #include "sim/stats.h"
 #include "sim/time.h"
 
@@ -119,10 +119,7 @@ class BlockAllocator
     std::uint64_t largestFreeExtent() const;
 
     /** Raw free map (start block -> length), for invariant checkers. */
-    const std::map<std::uint64_t, std::uint64_t> &freeMap() const
-    {
-        return freeMap_;
-    }
+    const ExtentMap &freeMap() const { return freeMap_; }
 
     /**
      * Fraction of free space sitting in 2 MB-aligned fully-free huge
@@ -131,22 +128,20 @@ class BlockAllocator
     double hugeAlignedFreeFraction() const;
 
   private:
-    std::vector<Extent> carve(std::map<std::uint64_t, std::uint64_t> &map,
-                              std::uint64_t count, std::uint64_t goal,
-                              std::uint64_t &pool, bool hugeAligned);
-    void insertFree(std::map<std::uint64_t, std::uint64_t> &map,
-                    const Extent &extent);
+    std::vector<Extent> carve(ExtentMap &map, std::uint64_t count,
+                              std::uint64_t goal, std::uint64_t &pool,
+                              bool hugeAligned);
+    void insertFree(ExtentMap &map, const Extent &extent);
     /** Remove [start, start+count) from @p map; @return blocks removed. */
-    static std::uint64_t
-    removeRange(std::map<std::uint64_t, std::uint64_t> &map,
-                std::uint64_t start, std::uint64_t count);
+    static std::uint64_t removeRange(ExtentMap &map, std::uint64_t start,
+                                     std::uint64_t count);
 
     std::uint64_t totalBlocks_;
     std::uint64_t baseAddr_;
     /** start block -> length (blocks), coalesced. */
-    std::map<std::uint64_t, std::uint64_t> freeMap_;
+    ExtentMap freeMap_;
     /** pre-zeroed extents ready for zero-demanding allocations. */
-    std::map<std::uint64_t, std::uint64_t> zeroedMap_;
+    ExtentMap zeroedMap_;
     std::uint64_t freeBlocks_ = 0;
     std::uint64_t zeroedBlocks_ = 0;
     std::uint64_t divertedBlocks_ = 0;

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Sorted-vector extent map (start block -> length).
+ *
+ * The allocator's free and zeroed pools were std::maps; profiling the
+ * allocation-heavy benches showed the node allocations and pointer
+ * chasing dominating alloc/free host time even though the pools stay
+ * coalesced and therefore small (one extent on a fresh image, a few
+ * hundred on an aged one). A sorted vector keeps the same ordered
+ * interface surface the allocator uses (lower_bound / upper_bound /
+ * emplace / erase with pair-shaped entries) but makes lookups a
+ * cache-friendly binary search and steady-state mutation allocation-
+ * free once capacity is retained.
+ *
+ * Contract differences from std::map that callers must respect:
+ * iterators are random-access vector iterators, so ANY emplace or
+ * erase invalidates every outstanding iterator at or after the
+ * mutation point (and all of them on reallocation). The allocator's
+ * loops were audited for this; new code should re-derive iterators
+ * from keys or indices after mutating.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dax::fs {
+
+class ExtentMap
+{
+  public:
+    /** Kept pair-shaped so map-style structured bindings keep working. */
+    using value_type = std::pair<std::uint64_t, std::uint64_t>;
+    using iterator = std::vector<value_type>::iterator;
+    using const_iterator = std::vector<value_type>::const_iterator;
+
+    iterator begin() { return v_.begin(); }
+    iterator end() { return v_.end(); }
+    const_iterator begin() const { return v_.begin(); }
+    const_iterator end() const { return v_.end(); }
+
+    std::size_t size() const { return v_.size(); }
+    bool empty() const { return v_.empty(); }
+    void clear() { v_.clear(); }
+
+    /** First entry with start >= @p key. */
+    iterator
+    lower_bound(std::uint64_t key)
+    {
+        return std::lower_bound(v_.begin(), v_.end(), key, startsBefore);
+    }
+    const_iterator
+    lower_bound(std::uint64_t key) const
+    {
+        return std::lower_bound(v_.begin(), v_.end(), key, startsBefore);
+    }
+
+    /** First entry with start > @p key. */
+    iterator
+    upper_bound(std::uint64_t key)
+    {
+        return std::upper_bound(v_.begin(), v_.end(), key, keyBefore);
+    }
+    const_iterator
+    upper_bound(std::uint64_t key) const
+    {
+        return std::upper_bound(v_.begin(), v_.end(), key, keyBefore);
+    }
+
+    /** Insert (key, len) at its sorted position; false if key exists. */
+    std::pair<iterator, bool>
+    emplace(std::uint64_t key, std::uint64_t len)
+    {
+        auto it = lower_bound(key);
+        if (it != v_.end() && it->first == key)
+            return {it, false};
+        it = v_.insert(it, value_type{key, len});
+        return {it, true};
+    }
+
+    /** Erase the entry at @p it; returns the following position. */
+    iterator erase(iterator it) { return v_.erase(it); }
+
+  private:
+    static bool
+    startsBefore(const value_type &e, std::uint64_t key)
+    {
+        return e.first < key;
+    }
+    static bool
+    keyBefore(std::uint64_t key, const value_type &e)
+    {
+        return key < e.first;
+    }
+
+    std::vector<value_type> v_; ///< sorted by start, coalesced by caller
+};
+
+} // namespace dax::fs

@@ -33,13 +33,23 @@ Device::Device(Kind kind, std::uint64_t capacity, const sim::CostModel &cm,
         throw std::invalid_argument("device capacity not page aligned");
     if (backing_ == Backing::Full)
         data_.assign(capacity_, 0);
+    // Pre-size the hot overlays from capacity. The bounds are small on
+    // purpose: the tables only ever grow (amortized, and never in a
+    // flushRange inner loop - the scratch vector below decouples the
+    // write-back from the table), so a compact initial footprint keeps
+    // the common few-hundred-line working set cache-resident instead of
+    // scattering it across a capacity-sized table.
+    sparse_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(capacity_ / kPageSize, 1ULL << 10)));
+    dirtyLines_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(capacity_ / kCacheLine, 1ULL << 9)));
 }
 
 const std::uint8_t *
 Device::sparsePage(Paddr addr) const
 {
-    auto it = sparse_.find(addr / kPageSize);
-    return it == sparse_.end() ? nullptr : it->second.get();
+    const auto *slot = sparse_.find(addr / kPageSize);
+    return slot == nullptr ? nullptr : slot->get();
 }
 
 std::uint8_t *
@@ -274,12 +284,11 @@ Device::invalidateVolatile(Paddr addr, std::uint64_t bytes)
         const std::uint64_t inLine = a % kCacheLine;
         const std::uint64_t chunk =
             std::min(bytes - done, kCacheLine - inLine);
-        auto it = dirtyLines_.find(a / kCacheLine);
-        if (it != dirtyLines_.end()) {
+        if (DirtyLine *dl = dirtyLines_.find(a / kCacheLine)) {
             for (std::uint64_t i = 0; i < chunk; i++)
-                it->second.mask &= ~(1ULL << (inLine + i));
-            if (it->second.mask == 0)
-                dirtyLines_.erase(it);
+                dl->mask &= ~(1ULL << (inLine + i));
+            if (dl->mask == 0)
+                dirtyLines_.erase(a / kCacheLine);
         }
         done += chunk;
     }
@@ -295,12 +304,10 @@ Device::mergeVolatile(Paddr addr, void *dst, std::uint64_t bytes) const
         const std::uint64_t inLine = a % kCacheLine;
         const std::uint64_t chunk =
             std::min(bytes - done, kCacheLine - inLine);
-        auto it = dirtyLines_.find(a / kCacheLine);
-        if (it != dirtyLines_.end()) {
-            const DirtyLine &dl = it->second;
+        if (const DirtyLine *dl = dirtyLines_.find(a / kCacheLine)) {
             for (std::uint64_t i = 0; i < chunk; i++) {
-                if (dl.mask & (1ULL << (inLine + i)))
-                    out[done + i] = dl.data[inLine + i];
+                if (dl->mask & (1ULL << (inLine + i)))
+                    out[done + i] = dl->data[inLine + i];
             }
         }
         done += chunk;
@@ -357,10 +364,22 @@ Device::zero(Paddr addr, std::uint64_t bytes)
 void
 Device::writeBackLine(std::uint64_t line, const DirtyLine &dl)
 {
+    // Write maximal runs of dirty bytes in one durable store each: a
+    // fully dirty line (the common case) is a single 64 B copy instead
+    // of 64 per-byte page-table probes. Lines are line-aligned, so a
+    // run never crosses a sparse-page boundary.
     const Paddr base = line * kCacheLine;
-    for (std::uint64_t i = 0; i < kCacheLine; i++) {
-        if (dl.mask & (1ULL << i))
-            storeDurable(base + i, &dl.data[i], 1);
+    std::uint64_t i = 0;
+    while (i < kCacheLine) {
+        if ((dl.mask & (1ULL << i)) == 0) {
+            i++;
+            continue;
+        }
+        std::uint64_t end = i + 1;
+        while (end < kCacheLine && (dl.mask & (1ULL << end)) != 0)
+            end++;
+        storeDurable(base + i, &dl.data[i], end - i);
+        i = end;
     }
 }
 
@@ -373,30 +392,30 @@ Device::flushRange(Paddr addr, std::uint64_t bytes)
     const std::uint64_t firstLine = addr / kCacheLine;
     const std::uint64_t lastLine = (addr + bytes - 1) / kCacheLine;
     // Collect first so the fault point fires before any write-back:
-    // a crash at this flush loses the whole range.
-    std::vector<std::uint64_t> lines;
+    // a crash at this flush loses the whole range. Copying the lines
+    // out here also makes this the only probe of the table per line
+    // (the erase below is the second and last).
+    flushScratch_.clear();
     if (lastLine - firstLine + 1 < dirtyLines_.size()) {
         for (std::uint64_t l = firstLine; l <= lastLine; l++) {
-            if (dirtyLines_.count(l) != 0)
-                lines.push_back(l);
+            if (const DirtyLine *dl = dirtyLines_.find(l))
+                flushScratch_.emplace_back(l, *dl);
         }
     } else {
-        for (const auto &[l, dl] : dirtyLines_) {
-            (void)dl;
+        dirtyLines_.forEach([&](std::uint64_t l, const DirtyLine &dl) {
             if (l >= firstLine && l <= lastLine)
-                lines.push_back(l);
-        }
+                flushScratch_.emplace_back(l, dl);
+        });
     }
-    if (lines.empty())
+    if (flushScratch_.empty())
         return 0;
-    fireEvent(sim::FaultEvent::Flush, kCacheLine * lines.size());
-    for (const std::uint64_t l : lines) {
-        auto it = dirtyLines_.find(l);
-        writeBackLine(l, it->second);
-        dirtyLines_.erase(it);
+    fireEvent(sim::FaultEvent::Flush, kCacheLine * flushScratch_.size());
+    for (const auto &[l, dl] : flushScratch_) {
+        writeBackLine(l, dl);
+        dirtyLines_.erase(l);
     }
-    flushedLines_.add(lines.size());
-    return lines.size();
+    flushedLines_.add(flushScratch_.size());
+    return flushScratch_.size();
 }
 
 std::uint64_t
@@ -407,8 +426,12 @@ Device::drain()
     fireEvent(sim::FaultEvent::Drain,
               kCacheLine * dirtyLines_.size());
     const std::uint64_t n = dirtyLines_.size();
-    for (const auto &[line, dl] : dirtyLines_)
+    // writeBackLine only touches the sparse page store, so iterating
+    // the dirty table while writing back is safe; slot-index order
+    // keeps the sweep deterministic.
+    dirtyLines_.forEach([this](std::uint64_t line, const DirtyLine &dl) {
         writeBackLine(line, dl);
+    });
     dirtyLines_.clear();
     flushedLines_.add(n);
     return n;
@@ -447,7 +470,7 @@ Device::isZero(Paddr addr, std::uint64_t bytes) const
         const std::uint64_t firstLine = addr / kCacheLine;
         const std::uint64_t lastLine = (addr + bytes - 1) / kCacheLine;
         for (std::uint64_t l = firstLine; l <= lastLine; l++) {
-            if (dirtyLines_.count(l) == 0)
+            if (!dirtyLines_.contains(l))
                 continue;
             std::array<std::uint8_t, kPageSize> buf;
             std::uint64_t done = 0;

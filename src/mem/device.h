@@ -25,12 +25,12 @@
 #include <cstring>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/cost_model.h"
 #include "sim/engine.h"
 #include "sim/fault.h"
+#include "sim/flat_hash.h"
 #include "sim/metrics.h"
 #include "sim/resource.h"
 #include "sim/time.h"
@@ -227,10 +227,13 @@ class Device
     const sim::CostModel &cm_;
     Backing backing_;
     std::vector<std::uint8_t> data_; // Full backing
-    std::unordered_map<std::uint64_t, std::unique_ptr<std::uint8_t[]>>
-        sparse_; // page index -> 4 KB host page
+    /** Page index -> 4 KB host page, open-addressed (hot on every
+     *  functional access; flat so a probe is one cache line). */
+    sim::FlatHash64<std::unique_ptr<std::uint8_t[]>> sparse_;
     /** Volatile overlay: cache-line index -> dirty line. */
-    std::unordered_map<std::uint64_t, DirtyLine> dirtyLines_;
+    sim::FlatHash64<DirtyLine> dirtyLines_;
+    /** Reused flush scratch so flushRange never allocates per call. */
+    std::vector<std::pair<std::uint64_t, DirtyLine>> flushScratch_;
     sim::FaultPlan *plan_ = nullptr;
     sim::Resource readRes_;
     sim::Resource writeRes_;

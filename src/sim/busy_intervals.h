@@ -13,10 +13,18 @@
  * runs, every other thread's clock is ahead of (or equal to) its own,
  * so all holds that could overlap a new request are already recorded,
  * and intervals ending before the request time can be pruned.
+ *
+ * Storage is a sorted vector rather than a node-based map: pruning
+ * keeps the live set tiny (usually 0-2 intervals), so shifting on
+ * insert/erase is cheaper than a red-black rebalance, and the
+ * retained capacity makes steady-state transfer/lock traffic -- one
+ * insert and one prune per operation -- allocation-free.
  */
 #pragma once
 
-#include <map>
+#include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "sim/time.h"
 
@@ -25,11 +33,13 @@ namespace dax::sim {
 class BusyIntervals
 {
   public:
+    using Interval = std::pair<Time, Time>; ///< [start, end)
+
     /** Earliest time >= @p t outside every recorded interval. */
     Time
     firstFree(Time t) const
     {
-        auto it = set_.upper_bound(t);
+        auto it = upperBound(t);
         if (it != set_.begin()) {
             auto prev = std::prev(it);
             if (prev->second > t)
@@ -53,7 +63,7 @@ class BusyIntervals
     {
         Time cur = firstFree(t);
         for (;;) {
-            auto it = set_.lower_bound(cur);
+            auto it = lowerBound(cur);
             if (it == set_.end() || it->first >= cur + d)
                 return cur;
             cur = firstFree(it->second);
@@ -67,9 +77,9 @@ class BusyIntervals
         if (b <= a)
             return;
         // Merge with neighbours (overlaps can only come from the
-        // caller's own bookkeeping errors, but merging keeps the map
+        // caller's own bookkeeping errors, but merging keeps the set
         // canonical regardless).
-        auto it = set_.upper_bound(a);
+        auto it = mutUpperBound(a);
         if (it != set_.begin()) {
             auto prev = std::prev(it);
             if (prev->second >= a) {
@@ -79,12 +89,14 @@ class BusyIntervals
                 it = set_.erase(prev);
             }
         }
-        while (it != set_.end() && it->first <= b) {
-            if (it->second > b)
-                b = it->second;
-            it = set_.erase(it);
+        auto last = it;
+        while (last != set_.end() && last->first <= b) {
+            if (last->second > b)
+                b = last->second;
+            ++last;
         }
-        set_.emplace(a, b);
+        it = set_.erase(it, last);
+        set_.insert(it, Interval{a, b});
     }
 
     /**
@@ -105,14 +117,15 @@ class BusyIntervals
         }
         auto it = set_.begin();
         while (it != set_.end() && it->second <= t)
-            it = set_.erase(it);
+            ++it;
+        set_.erase(set_.begin(), it);
     }
 
     std::size_t size() const { return set_.size(); }
     bool empty() const { return set_.empty(); }
 
-    /** Raw interval map (start -> end) for invariant checkers. */
-    const std::map<Time, Time> &intervals() const { return set_; }
+    /** Raw intervals (start, end), sorted, for invariant checkers. */
+    const std::vector<Interval> &intervals() const { return set_; }
 
     /** Largest prune horizon seen (checker: prunes are monotone). */
     Time lastPrune() const { return lastPrune_; }
@@ -125,10 +138,42 @@ class BusyIntervals
      * that the disjointness checker must flag. Never call outside
      * corruption-injection tests.
      */
-    void injectRawForTest(Time a, Time b) { set_.emplace(a, b); }
+    void
+    injectRawForTest(Time a, Time b)
+    {
+        set_.insert(mutUpperBound(a), Interval{a, b});
+    }
 
   private:
-    std::map<Time, Time> set_; ///< start -> end, disjoint
+    static bool
+    startsBefore(const Interval &iv, Time t)
+    {
+        return iv.first < t;
+    }
+
+    std::vector<Interval>::const_iterator
+    lowerBound(Time t) const
+    {
+        return std::lower_bound(set_.begin(), set_.end(), t, startsBefore);
+    }
+
+    std::vector<Interval>::const_iterator
+    upperBound(Time t) const
+    {
+        return std::upper_bound(
+            set_.begin(), set_.end(), t,
+            [](Time v, const Interval &iv) { return v < iv.first; });
+    }
+
+    std::vector<Interval>::iterator
+    mutUpperBound(Time t)
+    {
+        return std::upper_bound(
+            set_.begin(), set_.end(), t,
+            [](Time v, const Interval &iv) { return v < iv.first; });
+    }
+
+    std::vector<Interval> set_; ///< sorted by start, disjoint
     Time lastPrune_ = 0;
     bool pruneRegressed_ = false;
 };

@@ -120,17 +120,38 @@ SpanRecorder::detachProcess(MetricsRegistry *counters)
         counterSource_ = nullptr;
 }
 
-void
-SpanRecorder::push(SpanEvent ev)
+SpanEvent &
+SpanRecorder::nextSlot(std::uint32_t track)
 {
-    Track &t = tracks_[(std::uint64_t(ev.pid) << 32) | ev.track];
+    Track &t = tracks_[(std::uint64_t(currentPid_) << 32) | track];
     if (t.events.size() < capacity_) {
-        t.events.push_back(std::move(ev));
-        return;
+        t.events.emplace_back();
+        return t.events.back();
     }
-    t.events[t.next] = std::move(ev);
+    SpanEvent &slot = t.events[t.next];
     t.next = (t.next + 1) % capacity_;
     t.dropped++;
+    return slot;
+}
+
+void
+SpanRecorder::push(SpanPhase phase, TraceCat cat, std::uint32_t track,
+                   int core, Time ts, const char *name,
+                   std::uint64_t value, const std::string &detail)
+{
+    SpanEvent &e = nextSlot(track);
+    e.phase = phase;
+    e.cat = cat;
+    e.pid = currentPid_;
+    e.track = track;
+    e.core = static_cast<std::int32_t>(core);
+    e.ts = ts;
+    e.name = name;
+    e.value = value;
+    // Assign (not replace) so a recycled slot reuses its buffer: a
+    // saturated ring then records detail-free spans with zero heap
+    // traffic and detailed ones with at most an in-place copy.
+    e.detail = detail;
 }
 
 void
@@ -151,15 +172,15 @@ SpanRecorder::begin(TraceCat cat, std::uint32_t track, int core, Time ts,
                     const char *name, std::string detail)
 {
     maybeSampleCounters(track, ts);
-    push({SpanPhase::Begin, cat, currentPid_, track, core, ts, name, 0,
-          std::move(detail)});
+    push(SpanPhase::Begin, cat, track, core, ts, name, 0, detail);
 }
 
 void
 SpanRecorder::end(TraceCat cat, std::uint32_t track, int core, Time ts,
                   const char *name)
 {
-    push({SpanPhase::End, cat, currentPid_, track, core, ts, name, 0, {}});
+    static const std::string kNoDetail;
+    push(SpanPhase::End, cat, track, core, ts, name, 0, kNoDetail);
 }
 
 void
@@ -175,8 +196,7 @@ void
 SpanRecorder::instant(TraceCat cat, std::uint32_t track, int core, Time ts,
                       const char *name, std::string detail)
 {
-    push({SpanPhase::Instant, cat, currentPid_, track, core, ts, name, 0,
-          std::move(detail)});
+    push(SpanPhase::Instant, cat, track, core, ts, name, 0, detail);
 }
 
 void
@@ -185,8 +205,8 @@ SpanRecorder::counterSample(std::uint32_t track, Time ts,
 {
     // Metric names are interned strings owned by a registry that can be
     // destroyed before export, so they travel in `detail`, not `name`.
-    push({SpanPhase::Counter, TraceCat::Fault, currentPid_, track, -1, ts,
-          "counter", value, name});
+    push(SpanPhase::Counter, TraceCat::Fault, track, -1, ts, "counter",
+         value, name);
 }
 
 void

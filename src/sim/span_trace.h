@@ -144,7 +144,16 @@ class SpanRecorder
         std::uint64_t dropped = 0;
     };
 
-    void push(SpanEvent ev);
+    /**
+     * Write one event into the track's ring in place. Recycled slots
+     * keep their detail string's buffer (assigned into, not replaced),
+     * so a saturated ring records without heap traffic.
+     */
+    void push(SpanPhase phase, TraceCat cat, std::uint32_t track,
+              int core, Time ts, const char *name, std::uint64_t value,
+              const std::string &detail);
+    /** Next ring slot of (currentPid_, @p track), growing to capacity. */
+    SpanEvent &nextSlot(std::uint32_t track);
     void maybeSampleCounters(std::uint32_t track, Time ts);
     /** Events of @p t in recording order (unrolls the ring). */
     std::vector<const SpanEvent *> ordered(const Track &t) const;

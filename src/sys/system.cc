@@ -30,12 +30,20 @@ System::System(const SystemConfig &config)
 {
     pmem_.bindMetrics(metrics_, "mem.pmem");
     dram_.bindMetrics(metrics_, "mem.dram");
+    bool fastPaths = config.hostFastPaths;
+    if (const char *env = std::getenv("DAXVM_HOST_FAST")) {
+        if (std::atoi(env) == 0)
+            fastPaths = false;
+    }
+    config_.hostFastPaths = fastPaths;
     for (unsigned c = 0; c < config.cores; c++) {
-        mmus_.push_back(std::make_unique<arch::Mmu>(config_.cm));
+        mmus_.push_back(std::make_unique<arch::Mmu>(config_.cm,
+                                                    fastPaths));
         hub_.registerMmu(static_cast<int>(c), mmus_.back().get());
     }
     vmm_ = std::make_unique<vm::VmManager>(config_.cm, hub_, fs_,
                                            dramMeta_, dram_, &metrics_);
+    vmm_->setHostFastPaths(fastPaths);
     if (config.daxvm) {
         ftm_ = std::make_unique<daxvm::FileTableManager>(
             fs_, dramMeta_, pmemTables_, config_.cm);

@@ -61,6 +61,14 @@ struct SystemConfig
      * the DAXVM_CHECK environment variable is consulted instead.
      */
     int checkLevel = 0;
+    /**
+     * Host-side fast paths (per-core walk cache, per-process VMA
+     * cache). Purely host-time: simulated output is bit-identical
+     * either way (docs/performance.md). The escape hatch exists for
+     * the golden-equivalence test and for bisecting host-perf issues;
+     * DAXVM_HOST_FAST=0 in the environment also disables them.
+     */
+    bool hostFastPaths = true;
     sim::CostModel cm;
 };
 

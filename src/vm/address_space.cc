@@ -28,7 +28,7 @@ AddressSpace::AddressSpace(VmManager &vmm)
     : vmm_(vmm), asid_(vmm.nextAsid()), pt_(vmm.dramMeta()),
       mmapSem_("mmap_sem", vmm.cm().rwsemWriterAtomics,
                vmm.cm().rwsemReaderAtomics),
-      vaBump_(kMmapBase)
+      fastPaths_(vmm.hostFastPaths()), vaBump_(kMmapBase)
 {
     vmm_.registerSpace(this);
 }
@@ -68,6 +68,7 @@ AddressSpace::insertVma(const Vma &vma)
     auto [it, inserted] = vmas_.emplace(vma.start, vma);
     if (!inserted)
         throw std::logic_error("overlapping VMA insert");
+    vmaGen_++;
     return it->second;
 }
 
@@ -85,11 +86,22 @@ AddressSpace::findVma(std::uint64_t va)
         }
         return nullptr;
     }
+    // Last-hit cache (Linux vmacache): page-local access streams hit
+    // the same VMA almost every time; the generation check keeps a
+    // pointer from surviving any tree mutation.
+    if (fastPaths_ && vmaCache_ != nullptr && vmaCacheGen_ == vmaGen_
+        && vmaCache_->contains(va)) {
+        vmaCacheHits_++;
+        return vmaCache_;
+    }
     auto it = vmas_.upper_bound(va);
     if (it != vmas_.begin()) {
         --it;
-        if (it->second.contains(va))
+        if (it->second.contains(va)) {
+            vmaCache_ = &it->second;
+            vmaCacheGen_ = vmaGen_;
             return &it->second;
+        }
     }
     return nullptr;
 }
@@ -97,6 +109,7 @@ AddressSpace::findVma(std::uint64_t va)
 bool
 AddressSpace::eraseVma(std::uint64_t start)
 {
+    vmaGen_++;
     return vmas_.erase(start) != 0;
 }
 
@@ -230,13 +243,13 @@ AddressSpace::munmap(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len)
         if (zs == vma.start && ze == vma.end) {
             cpu.advance(vmm_.cm().vmaFree);
             vmm_.unregisterMapping(vma.ino, this, vma.start);
-            vmas_.erase(s);
+            eraseVma(s);
         } else if (zs == vma.start) {
             // Trim the front: re-key.
             cpu.advance(vmm_.cm().vmaSplit);
             Vma rest = vma;
             vmm_.unregisterMapping(vma.ino, this, vma.start);
-            vmas_.erase(s);
+            eraseVma(s);
             rest.fileOff += ze - rest.start;
             rest.start = ze;
             insertVma(rest);
@@ -510,7 +523,7 @@ AddressSpace::mremap(sim::Cpu &cpu, std::uint64_t oldVa,
 
     Vma rest = *vma;
     vmm_.unregisterMapping(vma->ino, this, vma->start);
-    vmas_.erase(vma->start);
+    eraseVma(vma->start);
     rest.start = newStart;
     rest.end = newStart + newLen;
     insertVma(rest);

@@ -173,6 +173,11 @@ class AddressSpace
     void chargeExec(sim::Time ns) { execNs_ += ns; }
     sim::Time execNs() const { return execNs_; }
 
+    /** Host-side VMA-cache diagnostics (tests; not in metrics). */
+    std::uint64_t vmaCacheHits() const { return vmaCacheHits_; }
+    /** Generation of the main VMA tree (bumps on any mutation). */
+    std::uint64_t vmaGeneration() const { return vmaGen_; }
+
   private:
     friend class Access;
 
@@ -189,6 +194,17 @@ class AddressSpace
     arch::PageTable pt_;
     sim::RwSemaphore mmapSem_;
     std::map<std::uint64_t, Vma> vmas_; ///< keyed by start
+    /**
+     * Linux-vmacache analog: the last VMA findVma() returned, valid
+     * only while vmaGen_ is unchanged (every tree mutation bumps it,
+     * so a cached pointer can never dangle past an erase). Host-only:
+     * hits charge nothing and change no simulated state.
+     */
+    Vma *vmaCache_ = nullptr;
+    std::uint64_t vmaCacheGen_ = 0;
+    std::uint64_t vmaGen_ = 0;
+    std::uint64_t vmaCacheHits_ = 0;
+    bool fastPaths_;
     EphemeralRegion ephemeral_;
     std::uint64_t vaBump_;
     arch::CoreMask cpuMask_ = 0;

@@ -163,6 +163,14 @@ class VmManager : public fs::FsHooks
     void setHugePagesEnabled(bool enabled) { hugePages_ = enabled; }
 
     /**
+     * Host-side fast-path policy inherited by new address spaces
+     * (last-hit VMA cache). Observationally pure either way; the
+     * escape hatch exists so the golden-equivalence test can prove it.
+     */
+    bool hostFastPaths() const { return hostFastPaths_; }
+    void setHostFastPaths(bool enabled) { hostFastPaths_ = enabled; }
+
+    /**
      * Crash: reverse mappings and dirty tags are volatile kernel
      * state - forget them. Surviving AddressSpace objects must be
      * destroyed by the harness (their processes died with the power);
@@ -190,6 +198,7 @@ class VmManager : public fs::FsHooks
     sim::CheckHook *checkHook_ = nullptr;
     arch::Asid nextAsid_ = 1;
     bool hugePages_ = true;
+    bool hostFastPaths_ = true;
     sim::StatSet stats_;
     VmCounters counters_;
     std::set<AddressSpace *> spaces_;
