@@ -98,6 +98,12 @@ class FsChecker final : public Checker
             claims.push_back(
                 {e.block, e.block + e.count, "the zeroed pool"});
         }
+        // Retired (poisoned) blocks are out of circulation: an inode
+        // or pool still claiming one would re-expose the bad medium.
+        for (const fs::Extent &e : fs.allocator().retiredExtents()) {
+            claims.push_back(
+                {e.block, e.block + e.count, "the retired pool"});
+        }
         sweepClaims(oracle, claims, "fs.alloc.double-claim");
 
         for (const std::string &problem : fs.allocator().check()) {
@@ -105,6 +111,7 @@ class FsChecker final : public Checker
         }
 
         checkJournalImage(oracle, fs);
+        checkMceAccounting(oracle);
     }
 
   private:
@@ -140,6 +147,33 @@ class FsChecker final : public Checker
         // Note: sizeBlocks() > allocatedCount is legal - files can be
         // sparse (ftruncate grow leaves holes), so size does not bound
         // allocation in either direction.
+    }
+
+    /**
+     * Media-error delivery invariant: every machine check the device
+     * raised was handled exactly once - repaired (remap policies) or
+     * reported (EIO/SIGBUS after bad-block recording). A mismatch
+     * means an access path masked poison (walk cache / TLB serving
+     * stale data) or double-delivered one fault.
+     */
+    void
+    checkMceAccounting(Oracle &oracle)
+    {
+        const std::uint64_t raised =
+            oracle.system().pmem().mceRaised();
+        const fs::FileSystem &fs = oracle.system().fs();
+        const std::uint64_t handled =
+            fs.mceRepaired() + fs.mceFailed();
+        if (raised != handled) {
+            oracle.report(
+                "fs", "fs.mce.unaccounted",
+                "device raised " + std::to_string(raised)
+                    + " machine checks but the handler repaired "
+                    + std::to_string(fs.mceRepaired())
+                    + " and failed " + std::to_string(fs.mceFailed())
+                    + " (every poisoned access must be repaired or "
+                      "reported, never silently satisfied)");
+        }
     }
 
     /**

@@ -20,6 +20,13 @@ forceUnmapTrampoline(void *ctx, sim::Cpu &cpu, fs::Ino ino)
     static_cast<DaxVm *>(ctx)->forceUnmapFile(cpu, ino);
 }
 
+void
+remapFixupTrampoline(void *ctx, sim::Cpu &cpu, fs::Ino ino,
+                     std::uint64_t fileBlock)
+{
+    static_cast<DaxVm *>(ctx)->remapFixupFile(cpu, ino, fileBlock);
+}
+
 } // namespace
 
 DaxVm::DaxVm(vm::VmManager &vmm, FileTableManager &tables)
@@ -28,6 +35,7 @@ DaxVm::DaxVm(vm::VmManager &vmm, FileTableManager &tables)
       stats_(vmm.metricsRegistry())
 {
     tables_.setForceUnmap(&forceUnmapTrampoline, this);
+    tables_.setRemapFixup(&remapFixupTrampoline, this);
     sim::MetricsScope scope(vmm_.metricsRegistry(), "daxvm");
     counters_.mmap = scope.counter("mmap");
     counters_.mmapEphemeral = scope.counter("mmap_ephemeral");
@@ -42,6 +50,7 @@ DaxVm::DaxVm(vm::VmManager &vmm, FileTableManager &tables)
 DaxVm::~DaxVm()
 {
     tables_.setForceUnmap(nullptr, nullptr);
+    tables_.setRemapFixup(nullptr, nullptr);
 }
 
 int
@@ -316,6 +325,65 @@ DaxVm::forceUnmapFile(sim::Cpu &cpu, fs::Ino ino)
         if (pages > 0)
             vmm_.hub().shootdownFull(cpu, as.cpuMask(), as.asid());
         counters_.forcedUnmaps.addAt(cpu.coreId());
+    }
+}
+
+void
+DaxVm::remapFixupFile(sim::Cpu &cpu, fs::Ino ino, std::uint64_t fileBlock)
+{
+    DAX_SPAN(sim::TraceCat::Daxvm, cpu, "mce_remap_fixup");
+    InodeTables &it = tables_.tables(&cpu, ino);
+    FileTable *table = it.active();
+    const std::uint64_t fileByte = fileBlock * fs::kBlockSize;
+    const auto refs = vmm_.mappingsOf(ino);
+    for (const auto &ref : refs) {
+        vm::Vma *vma = ref.as->findVma(ref.vmaStart);
+        if (vma == nullptr || !vma->daxvm)
+            continue;
+        if (fileByte < vma->fileOff
+            || fileByte >= vma->fileOff + vma->length())
+            continue;
+        vm::AddressSpace &as = *ref.as;
+        arch::PageTable &pt = as.pageTable();
+        const std::uint64_t va =
+            vma->start + (fileByte - vma->fileOff);
+        const std::uint64_t attachSpan =
+            arch::levelSpan(vma->attachLevel);
+        const std::uint64_t attachBase =
+            va / attachSpan * attachSpan;
+        if (pt.attachedNode(attachBase, vma->attachLevel) == nullptr) {
+            // Not served by the shared table: the process carries a
+            // private copy still translating to the retired block -
+            // a huge PMD entry installed at attach time, or a
+            // demand-filled page in a former hole.
+            const arch::WalkResult walk = pt.lookup(va);
+            if (walk.present && walk.pageShift == 21
+                && vma->attachLevel == arch::kPmdLevel) {
+                const std::uint64_t base = va / mem::kHugePageSize
+                                           * mem::kHugePageSize;
+                const bool writable = walk.writable;
+                pt.clear(base, arch::kPmdLevel);
+                const std::uint64_t chunk =
+                    vma->fileOffsetOf(base) / mem::kHugePageSize;
+                if (arch::Node *node = table->pteNode(chunk)) {
+                    // Chunk demoted: swap in the shared PTE node.
+                    pt.attach(base, arch::kPmdLevel, node, writable);
+                    cpu.advance(vmm_.cm().tableAttach);
+                } else if (const arch::Pte huge =
+                               table->hugeEntry(chunk)) {
+                    pt.map(base, arch::pte::addr(huge),
+                           arch::kPmdLevel,
+                           writable ? arch::pte::kWrite : 0);
+                }
+            } else if (walk.present && walk.pageShift == 12) {
+                pt.clear(va / mem::kPageSize * mem::kPageSize,
+                         arch::kPteLevel);
+            }
+        }
+        // The repair changed physical translations: every cached copy
+        // in this process's TLBs is stale (memory_failure()-style
+        // heavyweight flush).
+        vmm_.hub().shootdownFull(cpu, as.cpuMask(), as.asid());
     }
 }
 

@@ -58,6 +58,16 @@ class DaxVm
     void forceUnmapFile(sim::Cpu &cpu, fs::Ino ino);
 
     /**
+     * Media-repair fixup for every DaxVM mapping of @p ino covering
+     * the remapped @p fileBlock: swap stale process-private huge
+     * copies for the demoted shared PTE node and shoot down TLBs
+     * caching the retired block's translation. Installed as the
+     * FileTableManager remap-fixup callback.
+     */
+    void remapFixupFile(sim::Cpu &cpu, fs::Ino ino,
+                        std::uint64_t fileBlock);
+
+    /**
      * MMU monitor poll (Table III): evaluates the per-process walk
      * counters and migrates @p ino's tables to DRAM when the rule
      * fires. @return true when a migration happened.

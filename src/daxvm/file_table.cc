@@ -490,6 +490,56 @@ FileTableManager::onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
 }
 
 void
+FileTableManager::onBlocksRemapped(sim::Cpu &cpu, fs::Inode &inode,
+                                   std::uint64_t fileBlock,
+                                   const fs::Extent &oldExtent,
+                                   const fs::Extent &newExtent)
+{
+    (void)oldExtent;
+    auto *t = dynamic_cast<InodeTables *>(inode.priv.get());
+    if (t == nullptr || t->table == nullptr)
+        return; // no table yet: nothing attaches the retired block
+    // O(1) repair: swap the translation in the shared table instead
+    // of force-unmapping the whole file. The extent tree already
+    // carries the replacement when this hook fires. A huge-mapped
+    // chunk lost its physical contiguity, so it demotes to a PTE
+    // node rebuilt from the tree.
+    const std::uint64_t chunk = fileBlock / fs::kBlocksPerHuge;
+    const std::uint64_t lo = chunk * fs::kBlocksPerHuge;
+    const std::uint64_t hi = lo + fs::kBlocksPerHuge;
+    auto repoint = [&](FileTable *table, sim::Cpu *tcpu) {
+        if (table == nullptr)
+            return;
+        if (table->hugeEntry(chunk) != 0) {
+            table->clearRange(tcpu, lo, fs::kBlocksPerHuge);
+            for (const auto &[fb, e] : inode.extents) {
+                if (fb + e.count <= lo || fb >= hi)
+                    continue;
+                const std::uint64_t s = fb > lo ? fb : lo;
+                const std::uint64_t end =
+                    fb + e.count < hi ? fb + e.count : hi;
+                table->populate(tcpu, s,
+                                fs::Extent{e.block + (s - fb), end - s},
+                                fs_.blockAddr(0));
+            }
+        } else {
+            table->clearRange(tcpu, fileBlock, newExtent.count);
+            table->populate(tcpu, fileBlock, newExtent,
+                            fs_.blockAddr(0));
+        }
+    };
+    repoint(t->table.get(), &cpu);
+    repoint(t->dramMirror.get(), nullptr);
+    updateImage(inode, t->table->persistent());
+    tablePopulates_.addAt(cpu.coreId());
+    // The swap changed physical translations under live mappings:
+    // the facade must fix private copies and flush stale TLB entries
+    // (unlike mirror migration, which keeps translations identical).
+    if (remapFixup_ != nullptr)
+        remapFixup_(remapFixupCtx_, cpu, inode.ino, fileBlock);
+}
+
+void
 FileTableManager::onInodeEvict(fs::Inode &inode)
 {
     auto *t = dynamic_cast<InodeTables *>(inode.priv.get());

@@ -204,6 +204,16 @@ class FileTableManager : public fs::FsHooks
     void onBlocksFreeing(sim::Cpu &cpu, fs::Inode &inode,
                          std::uint64_t fileBlock,
                          const fs::Extent &extent) override;
+    /**
+     * Media repair: swap the poisoned block's translation in place
+     * (O(1) reattach) instead of tearing down every mapping of the
+     * file. A huge-mapped chunk demotes to a PTE node because the
+     * replacement breaks its physical contiguity.
+     */
+    void onBlocksRemapped(sim::Cpu &cpu, fs::Inode &inode,
+                          std::uint64_t fileBlock,
+                          const fs::Extent &oldExtent,
+                          const fs::Extent &newExtent) override;
     void onInodeEvict(fs::Inode &inode) override;
 
     // Accounting ---------------------------------------------------------
@@ -228,6 +238,21 @@ class FileTableManager : public fs::FsHooks
         forceUnmapCtx_ = ctx;
     }
 
+    /**
+     * Remap-fixup callback installed by the DaxVm facade: after a
+     * media repair rewired a block's translation in the shared table,
+     * fix stale process-private copies (huge PMD entries) and shoot
+     * down every TLB that may cache the retired block's translation.
+     */
+    using RemapFixup = void (*)(void *ctx, sim::Cpu &cpu, fs::Ino ino,
+                                std::uint64_t fileBlock);
+    void
+    setRemapFixup(RemapFixup fn, void *ctx)
+    {
+        remapFixup_ = fn;
+        remapFixupCtx_ = ctx;
+    }
+
   private:
     bool persistentPolicy(const fs::Inode &inode) const;
     void buildFromExtents(sim::Cpu *cpu, fs::Inode &inode,
@@ -246,6 +271,8 @@ class FileTableManager : public fs::FsHooks
     const sim::CostModel &cm_;
     ForceUnmap forceUnmap_ = nullptr;
     void *forceUnmapCtx_ = nullptr;
+    RemapFixup remapFixup_ = nullptr;
+    void *remapFixupCtx_ = nullptr;
     sim::FaultPlan *plan_ = nullptr;
     /** Typed instruments in the file system's registry. */
     sim::Counter tableRebuilds_;

@@ -106,6 +106,35 @@ PrezeroDaemon::step(sim::Cpu &cpu)
     return pendingBlocks_ > 0; // false parks the daemon
 }
 
+std::uint64_t
+PrezeroDaemon::drainBounded(sim::Cpu *cpu, std::uint64_t maxBlocks)
+{
+    std::uint64_t released = 0;
+    std::uint64_t budget = maxBlocks;
+    unsigned idle = 0;
+    while (budget > 0 && pendingBlocks_ > 0
+           && idle < queues_.size()) {
+        auto &queue = queues_[nextQueue_ % queues_.size()];
+        nextQueue_++;
+        if (queue.empty()) {
+            idle++;
+            continue;
+        }
+        idle = 0;
+        fs::Extent extent = queue.front();
+        queue.pop_front();
+        if (extent.count > budget) {
+            queue.push_front(
+                {extent.block + budget, extent.count - budget});
+            extent.count = budget;
+        }
+        budget -= extent.count;
+        released += extent.count;
+        zeroExtent(cpu, extent);
+    }
+    return released;
+}
+
 void
 PrezeroDaemon::drainUntimed()
 {

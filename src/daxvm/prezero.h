@@ -67,6 +67,13 @@ class PrezeroDaemon : public sim::Task, public fs::PrezeroSink
     // PrezeroSink -------------------------------------------------------
     bool onFree(int core, sim::Time now, const fs::Extent &extent)
         override;
+    /**
+     * Media repair asking for clean frames while the zeroed pool is
+     * dry: zero up to @p maxBlocks from the backlog synchronously on
+     * the repairing CPU. @return blocks released to the zeroed pool.
+     */
+    std::uint64_t drainBounded(sim::Cpu *cpu, std::uint64_t maxBlocks)
+        override;
 
     // sim::Task ----------------------------------------------------------
     bool step(sim::Cpu &cpu) override;

@@ -207,6 +207,27 @@ BlockAllocator::freeZeroed(const Extent &extent)
     zeroedBlocks_ += extent.count;
 }
 
+void
+BlockAllocator::retire(const Extent &extent)
+{
+    if (extent.endBlock() > totalBlocks_)
+        throw std::invalid_argument("retire beyond device");
+    if (extent.count == 0)
+        return;
+    insertFree(retiredMap_, extent);
+    retiredBlocks_ += extent.count;
+}
+
+std::vector<Extent>
+BlockAllocator::retiredExtents() const
+{
+    std::vector<Extent> out;
+    out.reserve(retiredMap_.size());
+    for (const auto &[start, len] : retiredMap_)
+        out.push_back({start, len});
+    return out;
+}
+
 std::uint64_t
 BlockAllocator::removeRange(ExtentMap &map, std::uint64_t start,
                             std::uint64_t count)
@@ -257,6 +278,8 @@ BlockAllocator::rebuildFrom(const std::vector<Extent> &allocated)
     zeroedMap_.clear();
     zeroedBlocks_ = 0;
     divertedBlocks_ = 0;
+    retiredMap_.clear();
+    retiredBlocks_ = 0;
 
     std::uint64_t conflicts = 0;
     for (const auto &e : allocated) {
@@ -271,6 +294,18 @@ BlockAllocator::rebuildFrom(const std::vector<Extent> &allocated)
         conflicts += e.count - removed;
     }
     return conflicts;
+}
+
+void
+BlockAllocator::rebuildRetired(const std::vector<Extent> &retired)
+{
+    for (const auto &e : retired) {
+        if (e.count == 0 || e.endBlock() > totalBlocks_)
+            continue;
+        freeBlocks_ -= removeRange(freeMap_, e.block, e.count);
+        insertFree(retiredMap_, e);
+        retiredBlocks_ += e.count;
+    }
 }
 
 bool
@@ -337,23 +372,34 @@ BlockAllocator::check() const
     };
     audit("freeMap", freeMap_, freeBlocks_);
     audit("zeroedMap", zeroedMap_, zeroedBlocks_);
+    audit("retiredMap", retiredMap_, retiredBlocks_);
 
-    // The pools must be disjoint.
-    for (const auto &[start, len] : zeroedMap_) {
-        auto it = freeMap_.upper_bound(start);
-        if (it != freeMap_.begin()) {
-            auto prev = std::prev(it);
-            if (prev->first + prev->second > start)
-                problems.push_back("zeroed run at " + std::to_string(start)
-                                   + " overlaps free map");
+    // The pools must be pairwise disjoint.
+    auto overlapsMap = [&](const char *name, const ExtentMap &map,
+                           const ExtentMap &other, const char *otherName) {
+        for (const auto &[start, len] : map) {
+            auto it = other.upper_bound(start);
+            if (it != other.begin()) {
+                auto prev = std::prev(it);
+                if (prev->first + prev->second > start)
+                    problems.push_back(std::string(name) + " run at "
+                                       + std::to_string(start)
+                                       + " overlaps " + otherName);
+            }
+            if (it != other.end() && it->first < start + len)
+                problems.push_back(std::string(name) + " run at "
+                                   + std::to_string(start) + " overlaps "
+                                   + otherName);
         }
-        if (it != freeMap_.end() && it->first < start + len)
-            problems.push_back("zeroed run at " + std::to_string(start)
-                               + " overlaps free map");
-    }
+    };
+    overlapsMap("zeroed", zeroedMap_, freeMap_, "free map");
+    overlapsMap("retired", retiredMap_, freeMap_, "free map");
+    overlapsMap("retired", retiredMap_, zeroedMap_, "zeroed map");
 
-    if (freeBlocks_ + zeroedBlocks_ + divertedBlocks_ > totalBlocks_)
-        problems.push_back("free+zeroed+diverted exceeds device size");
+    if (freeBlocks_ + zeroedBlocks_ + divertedBlocks_ + retiredBlocks_
+        > totalBlocks_)
+        problems.push_back(
+            "free+zeroed+diverted+retired exceeds device size");
     return problems;
 }
 

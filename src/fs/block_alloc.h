@@ -25,6 +25,10 @@
 #include "sim/stats.h"
 #include "sim/time.h"
 
+namespace dax::sim {
+class Cpu;
+}
+
 namespace dax::fs {
 
 /** Receives freed extents for asynchronous zeroing (DaxVM). */
@@ -41,6 +45,21 @@ class PrezeroSink
      *         will return them via BlockAllocator::freeZeroed()).
      */
     virtual bool onFree(int core, sim::Time now, const Extent &extent) = 0;
+
+    /**
+     * Synchronously zero and release up to @p maxBlocks diverted
+     * blocks back to the allocator's zeroed pool. Called by the media
+     * repair path when the clean-frame pool is exhausted (bounded
+     * retry: the caller backs off and retries rather than draining
+     * everything). @return blocks released (0 when nothing pending).
+     */
+    virtual std::uint64_t
+    drainBounded(sim::Cpu *cpu, std::uint64_t maxBlocks)
+    {
+        (void)cpu;
+        (void)maxBlocks;
+        return 0;
+    }
 };
 
 class BlockAllocator
@@ -69,8 +88,19 @@ class BlockAllocator
     /** Return blocks zeroed by the prezero daemon to the zeroed pool. */
     void freeZeroed(const Extent &extent);
 
+    /**
+     * Retire an extent the media reported bad: the blocks leave the
+     * allocatable population permanently (never returned to the free
+     * or zeroed pools). The caller owns them (they were allocated)
+     * when retiring.
+     */
+    void retire(const Extent &extent);
+
     /** Install (or remove, nullptr) the DaxVM prezero sink. */
     void setPrezeroSink(PrezeroSink *sink) { sink_ = sink; }
+
+    /** Installed prezero sink, or nullptr (media repair backoff). */
+    PrezeroSink *prezeroSink() const { return sink_; }
 
     // Crash recovery -----------------------------------------------------
 
@@ -83,6 +113,14 @@ class BlockAllocator
      *         image; conflicts are left allocated once).
      */
     std::uint64_t rebuildFrom(const std::vector<Extent> &allocated);
+
+    /**
+     * Re-apply the durable retired-block set after rebuildFrom():
+     * carves the extents out of the free map into the retired pool.
+     * Extents already outside the free map (still claimed by an inode
+     * on a torn image) are recorded retired without double-counting.
+     */
+    void rebuildRetired(const std::vector<Extent> &retired);
 
     /**
      * Move a fully-free extent into the zeroed pool (recovery re-
@@ -114,12 +152,20 @@ class BlockAllocator
     std::uint64_t zeroedBlocks() const { return zeroedBlocks_; }
     /** Blocks in flight to the prezero daemon (volatile across crash). */
     std::uint64_t divertedBlocks() const { return divertedBlocks_; }
+    /** Blocks permanently retired for media errors. */
+    std::uint64_t retiredBlocks() const { return retiredBlocks_; }
     std::uint64_t totalBlocks() const { return totalBlocks_; }
     std::uint64_t freeExtents() const { return freeMap_.size(); }
     std::uint64_t largestFreeExtent() const;
 
     /** Raw free map (start block -> length), for invariant checkers. */
     const ExtentMap &freeMap() const { return freeMap_; }
+
+    /** Retired pool (start block -> length), for invariant checkers. */
+    const ExtentMap &retiredMap() const { return retiredMap_; }
+
+    /** Current retired extents (persistence, reporting). */
+    std::vector<Extent> retiredExtents() const;
 
     /**
      * Fraction of free space sitting in 2 MB-aligned fully-free huge
@@ -142,9 +188,12 @@ class BlockAllocator
     ExtentMap freeMap_;
     /** pre-zeroed extents ready for zero-demanding allocations. */
     ExtentMap zeroedMap_;
+    /** media-retired extents, permanently out of circulation. */
+    ExtentMap retiredMap_;
     std::uint64_t freeBlocks_ = 0;
     std::uint64_t zeroedBlocks_ = 0;
     std::uint64_t divertedBlocks_ = 0;
+    std::uint64_t retiredBlocks_ = 0;
     PrezeroSink *sink_ = nullptr;
 };
 

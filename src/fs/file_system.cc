@@ -8,6 +8,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "sim/fault.h"
 #include "sim/trace.h"
 
 namespace dax::fs {
@@ -318,6 +319,10 @@ FileSystem::write(sim::Cpu &cpu, Ino ino, std::uint64_t off, const void *src,
     while (done < len) {
         const std::uint64_t fileBlock = (off + done) / kBlockSize;
         const std::uint64_t inBlock = (off + done) % kBlockSize;
+        // DAX writes go straight at media: a block on the badblock
+        // list fails with EIO until fsck repair punches it out.
+        if (intervalOverlaps(node.badBlocks, fileBlock, 1))
+            throw IoError(ino, fileBlock);
         const auto run = node.find(fileBlock);
         if (!run)
             throw std::logic_error("write: unmapped file block");
@@ -354,23 +359,52 @@ FileSystem::read(sim::Cpu &cpu, Ino ino, std::uint64_t off, void *dst,
     len = std::min(len, node.size - off);
 
     std::uint64_t done = 0;
+    unsigned mceRetries = 0;
     while (done < len) {
         const std::uint64_t fileBlock = (off + done) / kBlockSize;
         const std::uint64_t inBlock = (off + done) % kBlockSize;
+        // Consult the badblock list before touching media, like
+        // dax_direct_access() failing over known bad ranges.
+        if (intervalOverlaps(node.badBlocks, fileBlock, 1))
+            throw IoError(ino, fileBlock);
         const auto run = node.find(fileBlock);
-        if (!run)
-            throw std::logic_error("read: hole in file");
         chargeExtentLookup(cpu, node);
+        if (!run) {
+            // Hole (sparse grow, or fsck repair punched a bad block
+            // out): reads as zeros without touching the device.
+            const std::uint64_t chunk =
+                std::min(len - done, kBlockSize - inBlock);
+            if (dst != nullptr) {
+                std::memset(static_cast<std::uint8_t *>(dst) + done, 0,
+                            chunk);
+            }
+            done += chunk;
+            continue;
+        }
         const std::uint64_t runBytes = run->count * kBlockSize - inBlock;
         const std::uint64_t chunk = std::min(len - done, runBytes);
         const std::uint64_t pa =
             alloc_.blockAddr(run->physBlock) + inBlock;
-        if (dst != nullptr) {
-            pmem_.fetch(pa, static_cast<std::uint8_t *>(dst) + done,
-                        chunk);
+        try {
+            if (dst != nullptr) {
+                pmem_.fetch(pa, static_cast<std::uint8_t *>(dst) + done,
+                            chunk);
+            }
+            pmem_.readKernel(cpu, pa, chunk,
+                             seq ? mem::Pattern::Seq : mem::Pattern::Rand);
+        } catch (const mem::MachineCheckException &mc) {
+            // Synchronous machine check: the kernel read path eats the
+            // #MC and either repairs (remap policies; the loop retries
+            // this chunk against the new block) or fails with EIO.
+            cpu.advance(cm_.mceHandle);
+            const std::uint64_t badFile =
+                fileBlock
+                + ((mc.addr() - alloc_.blockAddr(run->physBlock))
+                   / kBlockSize);
+            if (!handlePoison(cpu, mc.addr()) || ++mceRetries > 8)
+                throw IoError(ino, badFile);
+            continue;
         }
-        pmem_.readKernel(cpu, pa, chunk,
-                         seq ? mem::Pattern::Seq : mem::Pattern::Rand);
         done += chunk;
     }
     counters_.readBytes.addAt(cpu.coreId(), len);
@@ -489,12 +523,18 @@ FileSystem::recover()
     std::vector<Extent> allocated;
     Ino maxIno = 0;
     for (const auto &[ino, rec] : journal_.committedImage()) {
+        // Double-fault injection point: a crash while this inode is
+        // being restored (mid-journal-replay / mid-log-scan) must
+        // leave recovery re-runnable from scratch.
+        if (auto *plan = journal_.faultPlan())
+            plan->onEvent(sim::FaultEvent::RecoveryReplay, 0);
         auto node = std::make_unique<Inode>();
         node->ino = ino;
         node->path = rec.path;
         node->size = rec.size;
         node->extents = rec.extents;
         node->unwritten = rec.unwritten;
+        node->badBlocks = rec.badBlocks;
         node->allocatedCount = rec.allocatedCount;
         for (const auto &[fileBlock, e] : rec.extents) {
             (void)fileBlock;
@@ -512,6 +552,9 @@ FileSystem::recover()
     // the committed extents are in use. Blocks that were in flight to
     // the (volatile) prezero daemon come back as plain free blocks.
     report.conflictBlocks = alloc_.rebuildFrom(allocated);
+    // Media-retired blocks are durable: carve them back out of the
+    // free map so they can never be reallocated.
+    alloc_.rebuildRetired(journal_.retiredImage());
     counters_.recoveries.add();
     return report;
 }
@@ -566,6 +609,11 @@ FileSystem::fsck() const
                                + " != extent sum "
                                + std::to_string(counted));
     }
+    // Media-retired blocks are claims too: an inode extent (or pool
+    // entry, checked by alloc_.check()) overlapping the retired set
+    // is corruption.
+    for (const Extent &e : alloc_.retiredExtents())
+        claims.emplace_back(e.block, e.count);
     std::sort(claims.begin(), claims.end());
     for (std::size_t i = 1; i < claims.size(); i++) {
         if (claims[i - 1].first + claims[i - 1].second > claims[i].first)
@@ -575,7 +623,8 @@ FileSystem::fsck() const
     }
 
     // Every claimed block must be absent from the allocator's pools;
-    // the sums must account for the whole device.
+    // the sums must account for the whole device (claims include the
+    // retired set appended above).
     std::uint64_t claimed = 0;
     for (const auto &[start, len] : claims) {
         (void)start;
@@ -589,6 +638,220 @@ FileSystem::fsck() const
                            + " != device "
                            + std::to_string(alloc_.totalBlocks()));
     return problems;
+}
+
+// ---------------------------------------------------------------------
+// Media errors
+// ---------------------------------------------------------------------
+
+std::optional<std::pair<Ino, std::uint64_t>>
+FileSystem::resolveBlock(std::uint64_t block) const
+{
+    // Machine checks are rare: a linear reverse lookup is fine here
+    // and keeps the write/alloc fast paths free of reverse-map upkeep.
+    for (const auto &[ino, node] : inodes_) {
+        for (const auto &[fileBlock, e] : node->extents) {
+            if (block >= e.block && block < e.block + e.count)
+                return std::make_pair(ino, fileBlock + (block - e.block));
+        }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint64_t>
+FileSystem::punchBlock(Inode &node, std::uint64_t fileBlock)
+{
+    auto it = node.extents.upper_bound(fileBlock);
+    if (it == node.extents.begin())
+        return std::nullopt;
+    --it;
+    const std::uint64_t start = it->first;
+    const Extent e = it->second;
+    if (fileBlock >= start + e.count)
+        return std::nullopt;
+    const std::uint64_t off = fileBlock - start;
+    node.extents.erase(it);
+    if (off > 0)
+        node.extents.emplace(start, Extent{e.block, off});
+    if (off + 1 < e.count) {
+        node.extents.emplace(fileBlock + 1,
+                             Extent{e.block + off + 1, e.count - off - 1});
+    }
+    return e.block + off;
+}
+
+std::optional<std::uint64_t>
+FileSystem::allocReplacement(sim::Cpu &cpu, Ino ino, std::uint64_t goal)
+{
+    for (unsigned attempt = 0; attempt < 4; attempt++) {
+        // Clean-frame pool exhausted: ask the prezero daemon for a
+        // bounded batch (with backoff) instead of draining everything
+        // or silently eating a full synchronous zero every repair.
+        if (alloc_.zeroedBlocks() == 0
+            && alloc_.prezeroSink() != nullptr) {
+            if (alloc_.prezeroSink()->drainBounded(&cpu, 64) > 0)
+                cpu.advance(cm_.blockAllocOp << attempt);
+        }
+        std::vector<bool> zeroed;
+        auto got = alloc_.alloc(1, goal, &zeroed, false);
+        if (got.empty())
+            return std::nullopt; // ENOSPC even after draining
+        cpu.advance(cm_.blockAllocOp);
+        counters_.blockAllocs.addAt(cpu.coreId(), got.size());
+        const Extent cand = got[0];
+        zeroExtents(cpu, got, zeroed);
+        // Check the frame only after zeroing: the zeroing writes
+        // themselves add wear, and a frame that crosses its wear
+        // budget right here must not be handed back as "repaired".
+        if (pmem_.isPoisoned(alloc_.blockAddr(cand.block), kBlockSize)) {
+            // The replacement frame is itself bad (clustered wear):
+            // retire it on the spot and pick another. The record
+            // rides the repairing inode's commit.
+            alloc_.retire(cand);
+            journal_.recordRetired(ino, cand);
+            journal_.markDirty(ino);
+            continue;
+        }
+        return cand.block;
+    }
+    return std::nullopt;
+}
+
+void
+FileSystem::recordBadBlock(sim::Cpu &cpu, Inode &node,
+                           std::uint64_t fileBlock)
+{
+    if (intervalOverlaps(node.badBlocks, fileBlock, 1))
+        return; // already recorded durably
+    intervalInsert(node.badBlocks, fileBlock, 1);
+    journal_.markDirty(node.ino);
+    // Commit immediately: the badblock record must survive a crash
+    // that follows the error report.
+    journal_.commit(cpu, node.ino);
+}
+
+bool
+FileSystem::handlePoison(sim::Cpu &cpu, std::uint64_t paddr)
+{
+    try {
+        return handlePoisonImpl(cpu, paddr);
+    } catch (const sim::CrashException &) {
+        // The machine died inside the repair (planned crash at a
+        // journal commit / zeroing boundary): account the delivery as
+        // reported so mceRaised == mceRepaired + mceFailed stays
+        // exact across the crash. A post-recovery retry of the access
+        // raises and is handled afresh.
+        mceFailed_++;
+        throw;
+    }
+}
+
+bool
+FileSystem::handlePoisonImpl(sim::Cpu &cpu, std::uint64_t paddr)
+{
+    const std::uint64_t base = alloc_.blockAddr(0);
+    std::optional<std::pair<Ino, std::uint64_t>> owner;
+    std::uint64_t block = 0;
+    if (paddr >= base) {
+        block = (paddr - base) / kBlockSize;
+        if (block < alloc_.totalBlocks())
+            owner = resolveBlock(block);
+    }
+    if (!owner) {
+        // Outside the data region or not file-owned (free-pool
+        // poison surfaces once the block is allocated and read).
+        mceFailed_++;
+        return false;
+    }
+    Inode &node = inode(owner->first);
+    const std::uint64_t fileBlock = owner->second;
+
+    if (mediaPolicy_ == MediaPolicy::FailFast) {
+        recordBadBlock(cpu, node, fileBlock);
+        mceFailed_++;
+        return false;
+    }
+
+    DAX_SPAN(sim::TraceCat::Fs, cpu, "mce_repair");
+    const auto newBlock = allocReplacement(cpu, node.ino, block);
+    if (!newBlock) {
+        // No replacement frame: degrade to fail-fast reporting.
+        recordBadBlock(cpu, node, fileBlock);
+        mceFailed_++;
+        return false;
+    }
+
+    const std::uint64_t oldPa = alloc_.blockAddr(block);
+    const std::uint64_t newPa = alloc_.blockAddr(*newBlock);
+    if (mediaPolicy_ == MediaPolicy::RemapRestore) {
+        // Charge the block copy first, against the clean replacement
+        // address: a timed read of the old block would re-raise the
+        // machine check inside the handler (the cost is address-
+        // independent), and charging before the copy's own stores add
+        // wear keeps the charge itself from tripping a fresh poison.
+        pmem_.readKernel(cpu, newPa, kBlockSize, mem::Pattern::Seq);
+        pmem_.writeKernel(cpu, newPa, kBlockSize, mem::WriteMode::NtStore,
+                          mem::Pattern::Seq);
+        // Salvage the clean 64 B lines of the old block into the
+        // replacement; only the poisoned lines themselves stay zero.
+        std::uint8_t line[mem::kCacheLine];
+        for (std::uint64_t o = 0; o < kBlockSize; o += mem::kCacheLine) {
+            if (pmem_.isPoisoned(oldPa + o, mem::kCacheLine))
+                continue;
+            pmem_.fetch(oldPa + o, line, sizeof line);
+            pmem_.store(newPa + o, line, sizeof line);
+        }
+    }
+
+    // O(1) swap in the extent tree: same file offset, fresh block.
+    punchBlock(node, fileBlock);
+    node.extents.emplace(fileBlock, Extent{*newBlock, 1});
+    for (auto *h : hooks_) {
+        h->onBlocksRemapped(cpu, node, fileBlock, Extent{block, 1},
+                            Extent{*newBlock, 1});
+    }
+
+    // Retire the bad block and commit: the durable image must swap
+    // atomically from (old extent) to (new extent + retired record),
+    // and a crash before the commit redoes the whole repair.
+    alloc_.retire(Extent{block, 1});
+    intervalErase(node.badBlocks, fileBlock, 1);
+    journal_.markDirty(node.ino);
+    journal_.recordRetired(node.ino, Extent{block, 1});
+    journal_.commit(cpu, node.ino);
+    mceRepaired_++;
+    DAX_TRACE(sim::TraceCat::Fs, cpu, "mce_remap ino=%llu file_block=%llu",
+              static_cast<unsigned long long>(node.ino),
+              static_cast<unsigned long long>(fileBlock));
+    return true;
+}
+
+std::uint64_t
+FileSystem::fsckRepair()
+{
+    sim::Cpu scratch(nullptr, -1, 0);
+    std::uint64_t punched = 0;
+    for (auto &[ino, node] : inodes_) {
+        if (node->badBlocks.empty())
+            continue;
+        while (!node->badBlocks.empty()) {
+            const std::uint64_t fileBlock = node->badBlocks.begin()->first;
+            const auto phys = punchBlock(*node, fileBlock);
+            if (phys) {
+                const Extent bad{*phys, 1};
+                for (auto *h : hooks_)
+                    h->onBlocksFreeing(scratch, *node, fileBlock, bad);
+                node->allocatedCount -= 1;
+                alloc_.retire(bad);
+                journal_.recordRetired(ino, bad);
+                punched++;
+            }
+            intervalErase(node->badBlocks, fileBlock, 1);
+        }
+        journal_.markDirty(ino);
+        journal_.commit(scratch, ino);
+    }
+    return punched;
 }
 
 } // namespace dax::fs

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <memory>
 #include <optional>
@@ -33,6 +34,44 @@
 #include "sim/stats.h"
 
 namespace dax::fs {
+
+/**
+ * Degradation policy when a machine check hits file data (the
+ * SystemConfig knob; paper-style "memory as a file" robustness):
+ *  - FailFast: no repair. The faulting access fails (SIGBUS through
+ *    mmap, EIO through read()) and the file block lands on the
+ *    inode's durable badblock list until fsck repair punches it out.
+ *  - RemapZero: O(1) remap - the poisoned block is retired and
+ *    replaced with a fresh zeroed block; lost data reads as zeros.
+ *  - RemapRestore: like RemapZero, but the clean 64 B lines of the
+ *    old block are salvaged into the replacement first, so only the
+ *    poisoned lines themselves read as zeros.
+ */
+enum class MediaPolicy { FailFast, RemapZero, RemapRestore };
+
+/**
+ * EIO surfaced by fs-mediated paths (read(), fsync-covered data) when
+ * a media error cannot be repaired under the active policy.
+ */
+class IoError : public std::exception
+{
+  public:
+    IoError(Ino ino, std::uint64_t fileBlock)
+        : ino_(ino), fileBlock_(fileBlock)
+    {}
+
+    const char *what() const noexcept override
+    {
+        return "EIO: uncorrectable media error";
+    }
+
+    Ino ino() const { return ino_; }
+    std::uint64_t fileBlock() const { return fileBlock_; }
+
+  private:
+    Ino ino_;
+    std::uint64_t fileBlock_;
+};
 
 /**
  * Observer interface for subsystems (DaxVM file tables, the VM layer)
@@ -60,6 +99,24 @@ class FsHooks
 
     /** The VFS evicted @p inode from its cache (volatile state dies). */
     virtual void onInodeEvict(Inode &inode) = 0;
+
+    /**
+     * One file block of @p inode was remapped in place (media-error
+     * repair): it now lives at @p newExtent instead of @p oldExtent,
+     * with identical file offset. The extent tree is already updated;
+     * the old block is being *retired*, not freed - overriders must
+     * not return it to the allocator. The default tears down and
+     * re-establishes mappings via the free/allocate hooks; DaxVM
+     * overrides this with an O(1) file-table entry swap.
+     */
+    virtual void onBlocksRemapped(sim::Cpu &cpu, Inode &inode,
+                                  std::uint64_t fileBlock,
+                                  const Extent &oldExtent,
+                                  const Extent &newExtent)
+    {
+        onBlocksFreeing(cpu, inode, fileBlock, oldExtent);
+        onBlocksAllocated(cpu, inode, fileBlock, newExtent);
+    }
 };
 
 /** What FileSystem::recover() found while replaying the journal. */
@@ -171,11 +228,48 @@ class FileSystem
 
     /**
      * Offline consistency check: extent trees well-formed and in
-     * range, no physical block claimed twice, allocator counters
-     * consistent with its maps, namespace and inode table in sync.
+     * range, no physical block claimed twice (media-retired blocks
+     * count as claims), allocator counters consistent with its maps,
+     * namespace and inode table in sync.
      * @return human-readable problems; empty when consistent.
      */
     std::vector<std::string> fsck() const;
+
+    // ------------------------------------------------------------------
+    // Media errors
+    // ------------------------------------------------------------------
+
+    void setMediaPolicy(MediaPolicy policy) { mediaPolicy_ = policy; }
+    MediaPolicy mediaPolicy() const { return mediaPolicy_; }
+
+    /**
+     * Handle a machine check raised at physical address @p paddr
+     * (line-aligned). Under a remap policy the owning file block is
+     * moved to a fresh zeroed block (salvaging clean lines under
+     * RemapRestore), the poisoned block is retired, and the change
+     * commits synchronously so recovery never resurrects the bad
+     * mapping. Under FailFast (or when repair is impossible: unowned
+     * block, ENOSPC) the block is recorded on the inode's badblock
+     * list instead.
+     *
+     * @return true when repaired (the caller may retry the access),
+     *         false when the error must be reported (SIGBUS / EIO).
+     */
+    bool handlePoison(sim::Cpu &cpu, std::uint64_t paddr);
+
+    /**
+     * Offline repair pass (mount-time fsck): punch every recorded bad
+     * file block out of its file - the block becomes a hole reading
+     * as zeros, the physical block retires. Untimed.
+     * @return file blocks punched.
+     */
+    std::uint64_t fsckRepair();
+
+    /** Machine checks repaired by remapping (plain counter: kept out
+     *  of the metrics registry so fault-free runs stay byte-identical). */
+    std::uint64_t mceRepaired() const { return mceRepaired_; }
+    /** Machine checks surfaced as EIO/badblock records. */
+    std::uint64_t mceFailed() const { return mceFailed_; }
 
     // ------------------------------------------------------------------
     // Mapping support & introspection
@@ -226,6 +320,28 @@ class FileSystem
 
     void freeAll(sim::Cpu &cpu, Inode &node, std::uint64_t fromBlock);
 
+    /** Owner of physical block @p block: (inode, file block). */
+    std::optional<std::pair<Ino, std::uint64_t>>
+    resolveBlock(std::uint64_t block) const;
+
+    /**
+     * Remove @p fileBlock from @p node's extent tree, splitting its
+     * covering extent. @return the physical block, nullopt on a hole.
+     */
+    std::optional<std::uint64_t> punchBlock(Inode &node,
+                                            std::uint64_t fileBlock);
+
+    /** Allocate one media-safe zeroed replacement block (see .cc). */
+    std::optional<std::uint64_t> allocReplacement(sim::Cpu &cpu, Ino ino,
+                                                  std::uint64_t goal);
+
+    /** handlePoison body; the wrapper keeps accounting crash-exact. */
+    bool handlePoisonImpl(sim::Cpu &cpu, std::uint64_t paddr);
+
+    /** Record @p fileBlock bad, commit, count the failure. */
+    void recordBadBlock(sim::Cpu &cpu, Inode &node,
+                        std::uint64_t fileBlock);
+
     mem::Device &pmem_;
     const sim::CostModel &cm_;
     std::unique_ptr<sim::MetricsRegistry> ownedMetrics_;
@@ -236,6 +352,10 @@ class FileSystem
     std::map<Ino, std::unique_ptr<Inode>> inodes_;
     Ino nextIno_ = 1;
     std::vector<FsHooks *> hooks_;
+    MediaPolicy mediaPolicy_ = MediaPolicy::FailFast;
+    /** Plain members, not registry metrics (byte-identity: see above). */
+    std::uint64_t mceRepaired_ = 0;
+    std::uint64_t mceFailed_ = 0;
     sim::StatSet stats_;
     /** Typed hot-path instruments (legacy names, see sim/metrics.h). */
     struct

@@ -41,6 +41,12 @@ struct Inode
      * per-fault cost behind the paper's aged-image YCSB results.
      */
     IntervalMap unwritten;
+    /**
+     * File blocks with unrepaired media errors (fail-fast policy):
+     * reads return EIO until fsck repair punches them out. Persisted
+     * through the journal so the list survives crash+recovery.
+     */
+    IntervalMap badBlocks;
     /** DaxVM (or other) private state; destroyed with the inode. */
     std::unique_ptr<InodePrivate> priv;
 

@@ -29,8 +29,22 @@ Journal::chargeCommit(sim::Cpu &cpu)
 }
 
 void
+Journal::mergeRetired(Ino ino)
+{
+    auto it = pendingRetired_.find(ino);
+    if (it == pendingRetired_.end())
+        return;
+    for (const Extent &e : it->second)
+        intervalInsert(retired_, e.block, e.count);
+    pendingRetired_.erase(it);
+}
+
+void
 Journal::snapshot(Ino ino)
 {
+    // Retired-block records ride their inode's snapshot so the two
+    // mutations are atomic even under NOVA's per-inode commits.
+    mergeRetired(ino);
     if (!resolver_)
         return;
     const Inode *node = resolver_(ino);
@@ -43,7 +57,18 @@ Journal::snapshot(Ino ino)
     rec.size = node->size;
     rec.extents = node->extents;
     rec.unwritten = node->unwritten;
+    rec.badBlocks = node->badBlocks;
     rec.allocatedCount = node->allocatedCount;
+}
+
+std::vector<Extent>
+Journal::retiredImage() const
+{
+    std::vector<Extent> out;
+    out.reserve(retired_.size());
+    for (const auto &[start, len] : retired_)
+        out.push_back(Extent{start, len});
+    return out;
 }
 
 void
@@ -96,6 +121,7 @@ Journal::commitErase(sim::Cpu &cpu, Ino ino)
         chargeCommit(cpu);
     }
     commitNs_.recordAt(cpu.coreId(), cpu.now() - begin);
+    mergeRetired(ino);
     committed_.erase(ino);
     dirty_.erase(ino);
     if (checkHook_ != nullptr)

@@ -23,6 +23,7 @@
 #include <functional>
 #include <map>
 #include <set>
+#include <vector>
 
 #include "fs/inode.h"
 #include "sim/cost_model.h"
@@ -43,6 +44,8 @@ struct InodeRecord
     std::uint64_t size = 0;
     std::map<std::uint64_t, Extent> extents;
     IntervalMap unwritten;
+    /** Committed media-error list (see Inode::badBlocks). */
+    IntervalMap badBlocks;
     std::uint64_t allocatedCount = 0;
 };
 
@@ -114,7 +117,27 @@ class Journal
     }
 
     /** Forget dirty state after a crash (nothing is dirty on mount). */
-    void clearDirty() { dirty_.clear(); }
+    void clearDirty()
+    {
+        dirty_.clear();
+        pendingRetired_.clear();
+    }
+
+    /**
+     * Record a media-retired physical extent on behalf of @p ino. The
+     * record becomes durable atomically with @p ino's next snapshot
+     * (the commit where the inode stops referencing the blocks): a
+     * crash before that commit rolls both back together, so a
+     * half-done repair re-runs cleanly after recovery, and a torn
+     * image can never claim a block both retired and file-owned.
+     */
+    void recordRetired(Ino ino, const Extent &extent)
+    {
+        pendingRetired_[ino].push_back(extent);
+    }
+
+    /** Durable retired-block set (committed records only). */
+    std::vector<Extent> retiredImage() const;
 
     // Introspection -----------------------------------------------------
 
@@ -128,10 +151,15 @@ class Journal
     /** Invariant-check observer fired after each commit. */
     void setCheckHook(sim::CheckHook *hook) { checkHook_ = hook; }
 
+    /** Installed fault plan (recovery-replay double-fault injection). */
+    sim::FaultPlan *faultPlan() const { return plan_; }
+
   private:
     /** Charge one commit and fire the matching fault event. */
     void chargeCommit(sim::Cpu &cpu);
     void snapshot(Ino ino);
+    /** Make @p ino's pending retired records durable (see above). */
+    void mergeRetired(Ino ino);
 
     Personality personality_;
     const sim::CostModel &cm_;
@@ -141,6 +169,10 @@ class Journal
     sim::CheckHook *checkHook_ = nullptr;
     std::set<Ino> dirty_;
     std::map<Ino, InodeRecord> committed_;
+    /** Retired extents awaiting their inode's commit (volatile). */
+    std::map<Ino, std::vector<Extent>> pendingRetired_;
+    /** Committed retired set, coalesced (durable). */
+    IntervalMap retired_;
     std::uint64_t commits_ = 0;
     std::uint64_t batchedInodes_ = 0;
     sim::LatencyHistogram commitNs_;

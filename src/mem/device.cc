@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <stdexcept>
 
 namespace dax::mem {
@@ -16,6 +17,25 @@ const char *
 kindName(Kind k)
 {
     return k == Kind::Dram ? "dram" : "pmem";
+}
+
+/** splitmix64 finalizer: the per-line decision hash. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/** Deterministic uniform in [0, 1) for (seed, line, stream). */
+double
+hashU01(std::uint64_t seed, std::uint64_t line, std::uint64_t stream)
+{
+    const std::uint64_t h = mix64(seed ^ mix64(line + stream));
+    return static_cast<double>(h >> 11)
+         * (1.0 / 9007199254740992.0); // 2^-53
 }
 
 } // namespace
@@ -74,6 +94,7 @@ sim::Time
 Device::read(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes, Pattern pattern)
 {
     checkRange(addr, bytes);
+    poisonCheck(addr, bytes);
     const sim::Bw bw = kind_ == Kind::Dram ? cm_.dramReadBwCore
                                            : cm_.pmemReadBwCore;
     sim::Time elapsed = 0;
@@ -128,6 +149,7 @@ Device::readKernel(sim::Cpu &cpu, Paddr addr, std::uint64_t bytes,
                    Pattern pattern)
 {
     checkRange(addr, bytes);
+    poisonCheck(addr, bytes);
     const sim::Bw bw = (kind_ == Kind::Dram ? cm_.dramReadBwCore
                                             : cm_.pmemReadBwCore)
                      * cm_.kernelCopyFactor;
@@ -199,9 +221,130 @@ Device::fireEvent(sim::FaultEvent ev, std::uint64_t bytes)
 }
 
 void
+Device::setMedia(const sim::MediaSpec *spec)
+{
+    if (spec == nullptr) {
+        mediaEnabled_ = false;
+        media_ = sim::MediaSpec{};
+        poisoned_.clear();
+        healed_.clear();
+        wear_.clear();
+        tornPending_ = false;
+        return;
+    }
+    media_ = *spec;
+    mediaEnabled_ = true;
+}
+
+void
+Device::poisonLine(Paddr addr)
+{
+    checkRange(addr, 1);
+    const std::uint64_t line = addr / kCacheLine;
+    poisoned_[line] = 1;
+    healed_.erase(line);
+    // Explicit poison must be observable even without a full media
+    // model installed (unit tests, torn-store capture).
+    mediaEnabled_ = true;
+}
+
+void
+Device::clearPoison(Paddr addr, std::uint64_t bytes)
+{
+    checkRange(addr, bytes);
+    if (!mediaEnabled_ || bytes == 0)
+        return;
+    const std::uint64_t first = addr / kCacheLine;
+    const std::uint64_t last = (addr + bytes - 1) / kCacheLine;
+    for (std::uint64_t l = first; l <= last; l++) {
+        poisoned_.erase(l);
+        healed_[l] = 1;
+        wear_.erase(l);
+    }
+}
+
+bool
+Device::poisonedLine(std::uint64_t line) const
+{
+    if (poisoned_.contains(line))
+        return true;
+    if (healed_.contains(line))
+        return false;
+    const Paddr addr = line * kCacheLine;
+    if (addr < media_.base || addr >= media_.limit)
+        return false;
+    if (media_.backgroundRate > 0
+        && hashU01(media_.seed, line, /*stream=*/0x0b5e)
+               < media_.backgroundRate)
+        return true;
+    if (media_.wearScale > 0) {
+        if (const std::uint64_t *count = wear_.find(line)) {
+            // Inverse-CDF Weibull draw: this line's durable-write
+            // budget, fixed for the run by the seed.
+            const double u =
+                hashU01(media_.seed, line, /*stream=*/0x3ea7);
+            const double budget =
+                media_.wearScale
+                * std::pow(-std::log1p(-u), 1.0 / media_.wearShape);
+            if (static_cast<double>(*count) >= budget)
+                return true;
+        }
+    }
+    return false;
+}
+
+bool
+Device::isPoisoned(Paddr addr, std::uint64_t bytes) const
+{
+    checkRange(addr, bytes);
+    if (!mediaEnabled_ || bytes == 0)
+        return false;
+    const std::uint64_t first = addr / kCacheLine;
+    const std::uint64_t last = (addr + bytes - 1) / kCacheLine;
+    for (std::uint64_t l = first; l <= last; l++) {
+        if (poisonedLine(l))
+            return true;
+    }
+    return false;
+}
+
+void
+Device::poisonCheck(Paddr addr, std::uint64_t bytes) const
+{
+    if (!mediaEnabled_ || bytes == 0)
+        return;
+    const std::uint64_t first = addr / kCacheLine;
+    const std::uint64_t last = (addr + bytes - 1) / kCacheLine;
+    for (std::uint64_t l = first; l <= last; l++) {
+        if (poisonedLine(l)) {
+            mceRaised_++;
+            throw MachineCheckException(l * kCacheLine);
+        }
+    }
+}
+
+void
+Device::noteWear(Paddr addr, std::uint64_t bytes)
+{
+    if (!mediaEnabled_ || media_.wearScale <= 0 || bytes == 0)
+        return;
+    const std::uint64_t first = addr / kCacheLine;
+    const std::uint64_t last = (addr + bytes - 1) / kCacheLine;
+    for (std::uint64_t l = first; l <= last; l++)
+        wear_[l]++;
+}
+
+void
 Device::fetch(Paddr addr, void *dst, std::uint64_t bytes) const
 {
     checkRange(addr, bytes);
+    poisonCheck(addr, bytes);
+    fetchRaw(addr, dst, bytes);
+}
+
+void
+Device::fetchRaw(Paddr addr, void *dst, std::uint64_t bytes) const
+{
     switch (backing_) {
       case Backing::Full:
         std::memcpy(dst, data_.data() + addr, bytes);
@@ -327,7 +470,19 @@ Device::store(Paddr addr, const void *src, std::uint64_t bytes,
         storeVolatile(addr, src, bytes);
         return;
     }
-    fireEvent(sim::FaultEvent::DurableStore, bytes);
+    // A crash fired from this boundary interrupts the ntstore
+    // mid-line: remember the line so crash() can poison the torn ECC
+    // word. Completing the store (or any later durable store) clears
+    // the candidate.
+    if (mediaEnabled_ && media_.poisonTornStore && kind_ == Kind::Pmem) {
+        tornLine_ = addr / kCacheLine;
+        tornPending_ = true;
+        fireEvent(sim::FaultEvent::DurableStore, bytes);
+        tornPending_ = false;
+    } else {
+        fireEvent(sim::FaultEvent::DurableStore, bytes);
+    }
+    noteWear(addr, bytes);
     storeDurable(addr, src, bytes);
     // ntstore invalidates the cached lines; clwb writes them back -
     // either way the covered bytes stop being volatile.
@@ -340,7 +495,15 @@ Device::zero(Paddr addr, std::uint64_t bytes)
     checkRange(addr, bytes);
     if (backing_ == Backing::None)
         return;
-    fireEvent(sim::FaultEvent::DurableStore, bytes);
+    if (mediaEnabled_ && media_.poisonTornStore && kind_ == Kind::Pmem) {
+        tornLine_ = addr / kCacheLine;
+        tornPending_ = true;
+        fireEvent(sim::FaultEvent::DurableStore, bytes);
+        tornPending_ = false;
+    } else {
+        fireEvent(sim::FaultEvent::DurableStore, bytes);
+    }
+    noteWear(addr, bytes);
     if (backing_ == Backing::Full) {
         std::memset(data_.data() + addr, 0, bytes);
     } else {
@@ -369,6 +532,7 @@ Device::writeBackLine(std::uint64_t line, const DirtyLine &dl)
     // of 64 per-byte page-table probes. Lines are line-aligned, so a
     // run never crosses a sparse-page boundary.
     const Paddr base = line * kCacheLine;
+    noteWear(base, kCacheLine);
     std::uint64_t i = 0;
     while (i < kCacheLine) {
         if ((dl.mask & (1ULL << i)) == 0) {
@@ -443,6 +607,15 @@ Device::crash()
     const std::uint64_t lost = dirtyLines_.size();
     dirtyLines_.clear();
     crashedLines_.add(lost);
+    // The power cut interrupted a durable store mid-line: its ECC word
+    // never completed, so the line reads back poisoned.
+    if (tornPending_) {
+        tornPending_ = false;
+        if (mediaEnabled_ && media_.poisonTornStore) {
+            poisoned_[tornLine_] = 1;
+            healed_.erase(tornLine_);
+        }
+    }
     return lost;
 }
 
@@ -477,7 +650,7 @@ Device::isZero(Paddr addr, std::uint64_t bytes) const
             while (done < bytes) {
                 const std::uint64_t chunk =
                     std::min<std::uint64_t>(bytes - done, buf.size());
-                fetch(addr + done, buf.data(), chunk);
+                fetchRaw(addr + done, buf.data(), chunk);
                 for (std::uint64_t i = 0; i < chunk; i++) {
                     if (buf[i] != 0)
                         return false;

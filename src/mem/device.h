@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdint>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <string>
 #include <vector>
@@ -45,6 +46,29 @@ inline constexpr std::uint64_t kHugePageSize = 2 * 1024 * 1024;
 inline constexpr std::uint64_t kCacheLine = 64;
 
 enum class Kind { Dram, Pmem };
+
+/**
+ * Raised synchronously by a data read that touches a poisoned cache
+ * line: the load never returns data, it traps. Delivery (SIGBUS to the
+ * faulting simulated thread, EIO from fs-mediated paths, repair under
+ * a remap policy) is layered above the device.
+ */
+class MachineCheckException : public std::exception
+{
+  public:
+    explicit MachineCheckException(Paddr addr) : addr_(addr) {}
+
+    const char *what() const noexcept override
+    {
+        return "machine check: load from poisoned line";
+    }
+
+    /** Line-aligned physical address of the poisoned line. */
+    Paddr addr() const { return addr_; }
+
+  private:
+    Paddr addr_;
+};
 
 /**
  * Byte-store strategy. Sparse materializes 4 KB host pages on first
@@ -178,6 +202,40 @@ class Device
      */
     void setFaultPlan(sim::FaultPlan *plan) { plan_ = plan; }
 
+    // ------------------------------------------------------------------
+    // Media errors (poisoned lines, machine checks)
+    // ------------------------------------------------------------------
+
+    /**
+     * Install a media degradation model (nullptr disables). The spec
+     * is copied; lazy per-line decisions (background UEs, Weibull wear
+     * budgets) are derived deterministically from its seed. While a
+     * model is installed, every data read (fetch/loadWord and the
+     * timed read paths) of a poisoned line throws
+     * MachineCheckException. isZero() deliberately does not raise - it
+     * models a device-side scrub query, not a CPU load.
+     */
+    void setMedia(const sim::MediaSpec *spec);
+
+    /** True when a media model is installed. */
+    bool mediaEnabled() const { return mediaEnabled_; }
+
+    /** Explicitly poison the line containing @p addr (tests, torn
+     *  stores). */
+    void poisonLine(Paddr addr);
+
+    /** Heal every line in [addr, addr+bytes): explicit poison is
+     *  dropped and lazy decisions are permanently overridden. */
+    void clearPoison(Paddr addr, std::uint64_t bytes);
+
+    /** True when any line in the range is (or lazily decides to be)
+     *  poisoned. Never throws on poison. */
+    bool isPoisoned(Paddr addr, std::uint64_t bytes) const;
+
+    /** Machine checks raised by reads so far (plain counter; kept out
+     *  of the metrics registry so disabled runs stay byte-identical). */
+    std::uint64_t mceRaised() const { return mceRaised_; }
+
     // Channel statistics ------------------------------------------------
     const sim::Resource &readChannel() const { return readRes_; }
     const sim::Resource &writeChannel() const { return writeRes_; }
@@ -221,6 +279,14 @@ class Device
     /** Write one dirty line's masked bytes to the durable store. */
     void writeBackLine(std::uint64_t line, const DirtyLine &dl);
     void fireEvent(sim::FaultEvent ev, std::uint64_t bytes);
+    /** fetch() without the poison check (isZero's scrub view). */
+    void fetchRaw(Paddr addr, void *dst, std::uint64_t bytes) const;
+    /** True when line index @p line is poisoned under the media model. */
+    bool poisonedLine(std::uint64_t line) const;
+    /** Throw MachineCheckException when the range hits poison. */
+    void poisonCheck(Paddr addr, std::uint64_t bytes) const;
+    /** Count durable writes per line for the wear model. */
+    void noteWear(Paddr addr, std::uint64_t bytes);
 
     Kind kind_;
     std::uint64_t capacity_;
@@ -235,6 +301,19 @@ class Device
     /** Reused flush scratch so flushRange never allocates per call. */
     std::vector<std::pair<std::uint64_t, DirtyLine>> flushScratch_;
     sim::FaultPlan *plan_ = nullptr;
+    // Media-error state. All containers are keyed by cache-line index.
+    bool mediaEnabled_ = false;
+    sim::MediaSpec media_;
+    /** Explicitly poisoned lines (torn stores, tests, chaos). */
+    sim::FlatHash64<char> poisoned_;
+    /** Healed lines: override the lazy seed-derived decisions. */
+    sim::FlatHash64<char> healed_;
+    /** Durable-write counts (only maintained when wearScale > 0). */
+    sim::FlatHash64<std::uint64_t> wear_;
+    /** Line of the durable store in flight (torn-store candidate). */
+    std::uint64_t tornLine_ = 0;
+    bool tornPending_ = false;
+    mutable std::uint64_t mceRaised_ = 0;
     sim::Resource readRes_;
     sim::Resource writeRes_;
     /** Persistence-domain instruments (unbound until bindMetrics). */

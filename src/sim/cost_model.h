@@ -155,6 +155,12 @@ struct CostModel
     double kernelCopyFactor = 0.55;
     /** clwb + sfence of a single dirtied cache line. */
     Time clwbLine = 60;
+    /**
+     * Machine-check delivery for a poisoned-line load: #MC trap, MCE
+     * bank decode and memory_failure() bookkeeping before any repair
+     * or signal work (Linux MCE handler, order-of-microseconds).
+     */
+    Time mceHandle = 5000;
 
     // ------------------------------------------------------------------
     // DaxVM specifics

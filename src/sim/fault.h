@@ -34,6 +34,7 @@
 #include <cstdint>
 #include <exception>
 #include <optional>
+#include <string>
 
 #include "sim/time.h"
 
@@ -48,6 +49,9 @@ enum class FaultEvent
     NovaCommit,
     TableUpdate,
     PrezeroRelease,
+    /** One inode about to be restored during crash recovery (journal
+     *  replay / NOVA log scan) - crashing here is a double fault. */
+    RecoveryReplay,
     kCount_,
 };
 
@@ -77,6 +81,43 @@ class CrashException : public std::exception
     FaultEvent event_;
     std::uint64_t index_;
     Time at_;
+};
+
+/**
+ * Media degradation model: which cache lines of the PMem device go
+ * bad, deterministically derived from a seed so chaos runs replay.
+ * All decisions are pure functions of (seed, line index, per-line
+ * durable-write count) - no host randomness is involved.
+ */
+struct MediaSpec
+{
+    std::uint64_t seed = 1;
+    /**
+     * Background uncorrectable-error probability per cache line
+     * (0 disables). A line is born bad when a seeded hash of its index
+     * falls below this rate; repair heals it permanently.
+     */
+    double backgroundRate = 0.0;
+    /**
+     * Weibull wear-out (0 disables): each line draws a durable-write
+     * budget from Weibull(shape, scale) via the inverse CDF of a
+     * seeded uniform; once its write count exceeds the budget the line
+     * is poisoned. Hot lines die first, matching DCPMM wear behavior.
+     */
+    double wearScale = 0.0;
+    double wearShape = 2.0;
+    /**
+     * Poison the line a durable store was tearing when the crash plan
+     * fired mid-store (interrupted ntstore leaves an invalid ECC word).
+     */
+    bool poisonTornStore = false;
+    /**
+     * Physical range media faults apply to, [base, limit). The System
+     * clamps this to the file-data region so page/file tables (whose
+     * failure model is TableUpdate) are never silently poisoned.
+     */
+    std::uint64_t base = 0;
+    std::uint64_t limit = ~0ULL;
 };
 
 class FaultPlan
@@ -153,6 +194,16 @@ class FaultPlan
         return targetIndex_ || targetKind_ || targetTime_;
     }
 
+    /** Attach a media degradation model to this plan. */
+    void setMedia(const MediaSpec &spec) { media_ = spec; }
+
+    /** Media model, or nullptr when the plan injects none. */
+    const MediaSpec *
+    media() const
+    {
+        return media_ ? &*media_ : nullptr;
+    }
+
   private:
     std::uint64_t seen_ = 0;
     std::uint64_t perKind_[static_cast<int>(FaultEvent::kCount_)] = {};
@@ -162,6 +213,32 @@ class FaultPlan
     std::optional<FaultEvent> targetKind_;
     std::uint64_t targetKindIndex_ = 0;
     std::optional<Time> targetTime_;
+    std::optional<MediaSpec> media_;
 };
+
+/**
+ * A parsed --faults / DAXVM_FAULTS specification: the plan itself plus
+ * the requested media degradation policy name ("" when unspecified;
+ * otherwise "fail-fast", "remap-zero" or "remap-restore").
+ */
+struct FaultSpec
+{
+    FaultPlan plan;
+    std::string policy;
+};
+
+/**
+ * Parse a fault specification string (see docs/robustness.md):
+ *
+ *   spec    := clause (';' clause)*
+ *   clause  := 'crash=' crash | 'media=' media (',' media)*
+ *   crash   := 'index:' N | 'kind:' NAME ':' N | 'time:' NS
+ *            | 'random:' SEED ':' TOTAL
+ *   media   := 'seed:' N | 'ue:' RATE | 'wear:' SCALE [':' SHAPE]
+ *            | 'torn' | 'policy:' (fail-fast|remap-zero|remap-restore)
+ *
+ * @throws std::invalid_argument with a message naming the bad token.
+ */
+FaultSpec parseFaultSpec(const std::string &spec);
 
 } // namespace dax::sim

@@ -30,6 +30,7 @@ System::System(const SystemConfig &config)
 {
     pmem_.bindMetrics(metrics_, "mem.pmem");
     dram_.bindMetrics(metrics_, "mem.dram");
+    fs_.setMediaPolicy(config.mediaPolicy);
     bool fastPaths = config.hostFastPaths;
     if (const char *env = std::getenv("DAXVM_HOST_FAST")) {
         if (std::atoi(env) == 0)
@@ -215,6 +216,16 @@ System::setFaultPlan(sim::FaultPlan *plan)
         ftm_->setFaultPlan(plan);
     if (prezero_ != nullptr)
         prezero_->setFaultPlan(plan);
+    // Media degradation rides the plan. Clamp the fault range to the
+    // file-data region: table frames have their own failure model
+    // (TableUpdate tearing) and must never be silently poisoned.
+    if (plan != nullptr && plan->media() != nullptr) {
+        sim::MediaSpec spec = *plan->media();
+        spec.limit = std::min(spec.limit, config_.pmemBytes);
+        pmem_.setMedia(&spec);
+    } else {
+        pmem_.setMedia(nullptr);
+    }
 }
 
 CrashReport

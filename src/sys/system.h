@@ -56,6 +56,12 @@ struct SystemConfig
     /** VFS inode cache capacity (0 = unlimited). */
     std::size_t inodeCacheCapacity = 1 << 16;
     /**
+     * Degradation policy for uncorrectable media errors (see
+     * docs/robustness.md): fail fast with EIO/SIGBUS, remap to a
+     * zeroed frame, or remap and restore salvageable lines.
+     */
+    fs::MediaPolicy mediaPolicy = fs::MediaPolicy::FailFast;
+    /**
      * Cross-layer invariant checking (see check/check.h): 0 = off,
      * 1 = strided sweeps (bench), 2 = every event (tests). When 0,
      * the DAXVM_CHECK environment variable is consulted instead.

@@ -37,6 +37,7 @@ AddressSpace::memRead(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
 
     std::uint64_t done = 0;
     bool first = true;
+    int mceRetries = 0;
     while (done < len) {
         const std::uint64_t addr = va + done;
         arch::Mmu::Result r;
@@ -59,13 +60,34 @@ AddressSpace::memRead(sim::Cpu &cpu, std::uint64_t va, std::uint64_t len,
         mem::Device &dev = r.dram ? vmm_.dram() : vmm_.fs().device();
         const mem::Pattern p =
             first ? pattern : mem::Pattern::Seq;
-        if (kernelCopy)
-            dev.readKernel(cpu, r.paddr, chunk, p);
-        else
-            dev.read(cpu, r.paddr, chunk, p);
-        if (dst != nullptr) {
-            dev.fetch(r.paddr, static_cast<std::uint8_t *>(dst) + done,
-                      chunk);
+        try {
+            if (kernelCopy)
+                dev.readKernel(cpu, r.paddr, chunk, p);
+            else
+                dev.read(cpu, r.paddr, chunk, p);
+            if (dst != nullptr) {
+                dev.fetch(r.paddr,
+                          static_cast<std::uint8_t *>(dst) + done, chunk);
+            }
+        } catch (const mem::MachineCheckException &mc) {
+            // Synchronous #MC on a DAX load. The kernel handler either
+            // repairs the backing block (remap policies tear down this
+            // translation through the remap hooks, so the retry
+            // re-faults onto the replacement) or delivers SIGBUS
+            // (BUS_MCEERR_AR) to this thread. The retry bound keeps a
+            // pathological poison stream from looping forever.
+            cpu.advance(vmm_.cm().mceHandle);
+            DAX_TRACE(sim::TraceCat::Fault, cpu,
+                      "mce va=0x%llx pa=0x%llx",
+                      static_cast<unsigned long long>(addr),
+                      static_cast<unsigned long long>(mc.addr()));
+            if (!vmm_.fs().handlePoison(cpu, mc.addr())
+                || ++mceRetries > 8) {
+                vmm_.noteMceSigbus();
+                execNs_ += cpu.now() - begin;
+                throw SigBusException(addr, mc.addr());
+            }
+            continue; // re-translate: the page was remapped
         }
         first = false;
         done += chunk;

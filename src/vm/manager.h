@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <exception>
 #include <map>
 #include <memory>
 #include <set>
@@ -29,6 +30,32 @@
 namespace dax::vm {
 
 class AddressSpace;
+
+/**
+ * SIGBUS (BUS_MCEERR_AR) delivered to the simulated thread whose load
+ * through a DAX mapping hit a poisoned line that the active media
+ * policy could not repair. Carries the faulting VA and the poisoned
+ * physical line for the harness/workload to report.
+ */
+class SigBusException : public std::exception
+{
+  public:
+    SigBusException(std::uint64_t va, std::uint64_t paddr)
+        : va_(va), paddr_(paddr)
+    {}
+
+    const char *what() const noexcept override
+    {
+        return "SIGBUS: uncorrectable media error in mapped page";
+    }
+
+    std::uint64_t va() const { return va_; }
+    std::uint64_t paddr() const { return paddr_; }
+
+  private:
+    std::uint64_t va_;
+    std::uint64_t paddr_;
+};
 
 /** Dirty intervals in units of 4 KB file pages: startPage -> count. */
 using DirtySet = std::map<std::uint64_t, std::uint64_t>;
@@ -158,6 +185,14 @@ class VmManager : public fs::FsHooks
     /** Next ASID for a new address space. */
     arch::Asid nextAsid() { return nextAsid_++; }
 
+    /**
+     * Machine checks delivered as SIGBUS through mapped accesses.
+     * Plain member, not a registry counter: fault-free runs must stay
+     * byte-identical in the stats dump.
+     */
+    void noteMceSigbus() { mceSigbus_++; }
+    std::uint64_t mceSigbus() const { return mceSigbus_; }
+
     /** Global huge-page policy (Fig. 6 turns huge pages off). */
     bool hugePagesEnabled() const { return hugePages_; }
     void setHugePagesEnabled(bool enabled) { hugePages_ = enabled; }
@@ -197,6 +232,7 @@ class VmManager : public fs::FsHooks
     std::map<fs::Ino, InodeVm> inodeVm_;
     sim::CheckHook *checkHook_ = nullptr;
     arch::Asid nextAsid_ = 1;
+    std::uint64_t mceSigbus_ = 0;
     bool hugePages_ = true;
     bool hostFastPaths_ = true;
     sim::StatSet stats_;

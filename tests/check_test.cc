@@ -14,8 +14,10 @@
 
 #include "arch/tlb.h"
 #include "check/check.h"
+#include "daxvm/api.h"
 #include "fs/file_system.h"
 #include "fs/inode.h"
+#include "latr/latr.h"
 #include "sys/system.h"
 #include "vm/address_space.h"
 #include "workloads/apache.h"
@@ -172,6 +174,192 @@ TEST(Corruption, OverlappingBusyIntervalsTripSimChecker)
     as->mmapSem().writerBusyForTest().pruneBefore(1'000'000, false);
     oracle->clearViolations();
     EXPECT_EQ(oracle->runAll(), 0u) << oracle->reportText();
+}
+
+// ---------------------------------------------------------------------
+// Machine-check edge cases: poison interacting with the TLB walk
+// cache, LATR's lazy-shootdown window, and shared DaxVM file tables
+// ---------------------------------------------------------------------
+
+namespace {
+
+sys::SystemConfig
+mediaConfig(bool daxvm = false)
+{
+    sys::SystemConfig sc = checkedConfig();
+    sc.mediaPolicy = fs::MediaPolicy::RemapZero;
+    sc.daxvm = daxvm;
+    return sc;
+}
+
+/** Physical address of @p ino's file block 0. */
+std::uint64_t
+blockZeroAddr(sys::System &system, fs::Ino ino)
+{
+    const auto run = system.fs().inode(ino).find(0);
+    return system.fs().blockAddr(run->physBlock);
+}
+
+} // namespace
+
+TEST(MediaEdge, PoisonHittingCachedWalkLeafIsRepairedOnce)
+{
+    sys::System system(mediaConfig());
+    check::Oracle *oracle = system.oracle();
+    ASSERT_NE(oracle, nullptr);
+    oracle->setFailFast(false);
+
+    sim::Cpu cpu(nullptr, 0, 0);
+    const fs::Ino ino = system.makeFile("/f", 64 * 1024, 64 * 1024);
+    auto as = system.newProcess();
+    const std::uint64_t va =
+        as->mmap(cpu, ino, 0, 64 * 1024, false, vm::kMapPopulate);
+    ASSERT_NE(va, 0u);
+    // Warm the translation (TLB + walk cache hold the leaf), then
+    // flush the TLB so the next access goes through the walker and
+    // its cached leaf.
+    as->memRead(cpu, va, 64, mem::Pattern::Seq);
+    system.hub().mmu(0).tlb().flushAsid(as->asid());
+
+    const std::uint64_t oldPa = blockZeroAddr(system, ino);
+    system.pmem().poisonLine(oldPa);
+
+    // The walker serves the (now poisoned) frame; the device raises
+    // the #MC; the repair remaps the block and the retry must NOT be
+    // satisfied from the stale cached leaf.
+    std::uint8_t got = 0xff;
+    as->memRead(cpu, va, 1, mem::Pattern::Rand, &got);
+    EXPECT_EQ(got, 0u); // remap-zero replacement
+    EXPECT_NE(blockZeroAddr(system, ino), oldPa);
+    EXPECT_EQ(system.pmem().mceRaised(), 1u);
+    EXPECT_EQ(system.fs().mceRepaired(), 1u);
+    EXPECT_EQ(system.fs().mceFailed(), 0u);
+
+    // The repaired translation is stable: no second machine check.
+    as->memRead(cpu, va, 64, mem::Pattern::Seq);
+    EXPECT_EQ(system.pmem().mceRaised(), 1u);
+    EXPECT_EQ(oracle->runAll(), 0u) << oracle->reportText();
+}
+
+TEST(MediaEdge, PoisonUnderLatrLazyShootdownWindow)
+{
+    sys::System system(mediaConfig());
+    check::Oracle *oracle = system.oracle();
+    ASSERT_NE(oracle, nullptr);
+    oracle->setFailFast(false);
+
+    sim::Cpu cpu0(nullptr, 0, 0), cpu1(nullptr, 1, 1);
+    const fs::Ino ino = system.makeFile("/f", 16 * 4096, 16 * 4096);
+    auto as = system.newProcess();
+
+    // Two mappings of the same file. va1 is only ever touched from
+    // core 1; va2 from core 0.
+    const std::uint64_t va1 =
+        as->mmap(cpu1, ino, 0, 16 * 4096, false, 0);
+    const std::uint64_t va2 =
+        as->mmap(cpu0, ino, 0, 16 * 4096, false, 0);
+    ASSERT_NE(va1, 0u);
+    ASSERT_NE(va2, 0u);
+    as->memRead(cpu1, va1, 4096, mem::Pattern::Seq);
+    as->memRead(cpu0, va2, 4096, mem::Pattern::Seq);
+
+    // Lazy-unmap va1: core 1's TLB entry goes stale with only a
+    // pending LATR descriptor covering it - no IPI.
+    ASSERT_TRUE(system.latr().munmapLazy(cpu0, *as, va1));
+    ASSERT_TRUE(system.latr().pendingCovers(1, as->asid(), va1));
+    ASSERT_NE(system.hub().mmu(1).tlb().lookup(va1, as->asid()),
+              nullptr);
+
+    // Poison the shared frame inside the lazy window, then access it
+    // through the still-live mapping.
+    system.pmem().poisonLine(blockZeroAddr(system, ino));
+    std::uint8_t got = 0xff;
+    as->memRead(cpu0, va2, 1, mem::Pattern::Rand, &got);
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(system.pmem().mceRaised(), 1u);
+    EXPECT_EQ(system.fs().mceRepaired(), 1u);
+
+    // The repair must neither deliver the lazy invalidation early nor
+    // trip the TLB checker: core 1's stale entry is still excused by
+    // the pending descriptor.
+    EXPECT_TRUE(system.latr().pendingCovers(1, as->asid(), va1));
+    EXPECT_EQ(oracle->runAll(), 0u) << oracle->reportText();
+
+    // Core 1's scheduling-boundary drain closes the window.
+    system.latr().drain(cpu1);
+    EXPECT_EQ(system.hub().mmu(1).tlb().lookup(va1, as->asid()),
+              nullptr);
+    EXPECT_EQ(oracle->runAll(), 0u) << oracle->reportText();
+}
+
+TEST(MediaEdge, SharedFileTableRepairVisibleToAllMappers)
+{
+    sys::System system(mediaConfig(/*daxvm=*/true));
+    check::Oracle *oracle = system.oracle();
+    ASSERT_NE(oracle, nullptr);
+    oracle->setFailFast(false);
+
+    sim::Cpu cpu0(nullptr, 0, 0), cpu1(nullptr, 1, 1);
+    // Large enough for a persistent (shared) file table.
+    const fs::Ino ino = system.makeFile("/f", 1ULL << 20, 64 * 1024);
+    auto as1 = system.newProcess();
+    auto as2 = system.newProcess();
+    ASSERT_NE(system.dax(), nullptr);
+    const std::uint64_t v1 =
+        system.dax()->mmap(cpu0, *as1, ino, 0, 1ULL << 20, false, 0);
+    const std::uint64_t v2 =
+        system.dax()->mmap(cpu1, *as2, ino, 0, 1ULL << 20, false, 0);
+    ASSERT_NE(v1, 0u);
+    ASSERT_NE(v2, 0u);
+    // Both processes touch the same file page through the shared
+    // table.
+    as1->memRead(cpu0, v1, 64, mem::Pattern::Seq);
+    as2->memRead(cpu1, v2, 64, mem::Pattern::Seq);
+
+    const std::uint64_t oldPa = blockZeroAddr(system, ino);
+    system.pmem().poisonLine(oldPa);
+
+    // First toucher takes the #MC; the repair swaps the shared
+    // file-table entry in place.
+    std::uint8_t got = 0xff;
+    as1->memRead(cpu0, v1, 1, mem::Pattern::Rand, &got);
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(system.fs().mceRepaired(), 1u);
+    EXPECT_NE(blockZeroAddr(system, ino), oldPa);
+    const std::uint64_t raisedAfterRepair = system.pmem().mceRaised();
+
+    // The second process must observe the repaired block through its
+    // own mapping - no second machine check, no stale data.
+    got = 0xff;
+    as2->memRead(cpu1, v2, 1, mem::Pattern::Rand, &got);
+    EXPECT_EQ(got, 0u);
+    EXPECT_EQ(system.pmem().mceRaised(), raisedAfterRepair);
+    EXPECT_EQ(system.pmem().mceRaised(),
+              system.fs().mceRepaired() + system.fs().mceFailed());
+    EXPECT_EQ(oracle->runAll(), 0u) << oracle->reportText();
+}
+
+TEST(Corruption, SwallowedMachineCheckTripsFsChecker)
+{
+    sys::System system(mediaConfig());
+    check::Oracle *oracle = system.oracle();
+    ASSERT_NE(oracle, nullptr);
+    oracle->setFailFast(false);
+
+    const fs::Ino ino = system.makeFile("/f", 4096, 4096);
+    EXPECT_EQ(oracle->runAll(), 0u) << oracle->reportText();
+
+    // A raw device read that swallows the machine check models an
+    // access path masking poison: the device counted a raise that no
+    // handler ever repaired or reported.
+    system.pmem().poisonLine(blockZeroAddr(system, ino));
+    std::uint8_t b = 0;
+    EXPECT_THROW(system.pmem().fetch(blockZeroAddr(system, ino), &b, 1),
+                 mem::MachineCheckException);
+
+    EXPECT_GE(oracle->runAll(), 1u);
+    expectOnly(*oracle, "fs", "fs.mce.unaccounted");
+    oracle->clearViolations();
 }
 
 // ---------------------------------------------------------------------

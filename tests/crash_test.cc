@@ -616,3 +616,157 @@ TEST(GroupCommit, NovaCommitsStayPerInode)
     EXPECT_EQ(system.fs().inode(a).size, 4096u); // rolled back
     EXPECT_EQ(system.fs().inode(b).size, 8192u); // committed
 }
+
+// ---------------------------------------------------------------------
+// Double faults: power fails again inside recovery itself (mid
+// journal replay on ext4, mid log scan on NOVA)
+// ---------------------------------------------------------------------
+
+class DoubleFault : public ::testing::TestWithParam<fs::Personality>
+{};
+
+TEST_P(DoubleFault, CrashDuringReplayLeavesRecoveryRerunnable)
+{
+    sys::System system(smallConfig(GetParam()));
+    const fs::Ino a = system.makeFile("/a", 64 << 10, 64 << 10);
+    const fs::Ino b = system.makeFile("/b", 64 << 10, 64 << 10);
+    const fs::Ino c = system.makeFile("/c", 64 << 10, 64 << 10);
+
+    // Uncommitted work every recovery attempt must roll back.
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::vector<std::uint8_t> block(fs::kBlockSize, 0x5a);
+    system.fs().write(cpu, a, 64 << 10, block.data(), block.size());
+
+    system.crash();
+
+    // Second fault: power fails again while the second inode is being
+    // restored.
+    sim::FaultPlan plan =
+        sim::FaultPlan::atKind(sim::FaultEvent::RecoveryReplay, 1);
+    system.setFaultPlan(&plan);
+    bool doubleFaulted = false;
+    try {
+        system.recover();
+    } catch (const sim::CrashException &e) {
+        doubleFaulted = true;
+        EXPECT_EQ(e.event(), sim::FaultEvent::RecoveryReplay);
+    }
+    ASSERT_TRUE(doubleFaulted);
+
+    // The machine reboots and recovery re-runs from the same durable
+    // image; the fired plan is inert.
+    system.crash();
+    const auto rec = system.recover();
+    system.setFaultPlan(nullptr);
+    EXPECT_EQ(rec.fs.inodesRestored, 3u);
+    EXPECT_EQ(rec.fs.conflictBlocks, 0u);
+    EXPECT_TRUE(system.fs().fsck().empty());
+
+    // Committed contents are intact, and the uncommitted extension
+    // stayed rolled back (not resurrected by the partial replay).
+    for (fs::Ino ino : {a, b, c}) {
+        EXPECT_EQ(system.fs().inode(ino).size, 64u << 10);
+        std::uint8_t got = 0;
+        system.fs().read(cpu, ino, 100, &got, 1);
+        EXPECT_EQ(got, sys::System::patternByte(ino, 100));
+    }
+}
+
+TEST_P(DoubleFault, ReplayCrashAtEveryIndexIsIdempotent)
+{
+    sys::System system(smallConfig(GetParam()));
+    std::vector<fs::Ino> inos;
+    for (int i = 0; i < 4; i++)
+        inos.push_back(system.makeFile("/f" + std::to_string(i),
+                                       32 << 10, 32 << 10));
+
+    system.crash();
+    // Fail recovery at every possible replay position in turn; each
+    // attempt starts over from the same durable image.
+    for (std::uint64_t n = 0; n < inos.size(); n++) {
+        sim::FaultPlan plan =
+            sim::FaultPlan::atKind(sim::FaultEvent::RecoveryReplay, n);
+        system.setFaultPlan(&plan);
+        EXPECT_THROW(system.recover(), sim::CrashException);
+        system.crash();
+    }
+    system.setFaultPlan(nullptr);
+
+    const auto rec = system.recover();
+    EXPECT_EQ(rec.fs.inodesRestored, inos.size());
+    EXPECT_EQ(rec.fs.conflictBlocks, 0u);
+    EXPECT_TRUE(system.fs().fsck().empty());
+    sim::Cpu cpu(nullptr, 0, 0);
+    for (fs::Ino ino : inos) {
+        std::uint8_t got = 0;
+        system.fs().read(cpu, ino, 12345, &got, 1);
+        EXPECT_EQ(got, sys::System::patternByte(ino, 12345));
+    }
+}
+
+TEST_P(DoubleFault, RecoveryAfterRecoveryIsIdempotent)
+{
+    // Even without a mid-replay crash, running crash/recover twice in
+    // a row must converge to the same state as running it once.
+    sys::System system(smallConfig(GetParam()));
+    const fs::Ino ino = system.makeFile("/f", 64 << 10, 64 << 10);
+
+    system.crash();
+    const auto first = system.recover();
+    system.crash();
+    const auto second = system.recover();
+
+    EXPECT_EQ(first.fs.inodesRestored, second.fs.inodesRestored);
+    EXPECT_EQ(second.fs.conflictBlocks, 0u);
+    EXPECT_TRUE(system.fs().fsck().empty());
+    sim::Cpu cpu(nullptr, 0, 0);
+    std::uint8_t got = 0;
+    system.fs().read(cpu, ino, 4000, &got, 1);
+    EXPECT_EQ(got, sys::System::patternByte(ino, 4000));
+}
+
+TEST_P(DoubleFault, BadBlockListSurvivesCrashDuringReplay)
+{
+    sys::System system(smallConfig(GetParam())); // fail-fast policy
+    const fs::Ino ino = system.makeFile("/f", 64 << 10);
+
+    // An uncorrectable media error on the file's first block: the
+    // fail-fast read reports EIO and durably records the bad block.
+    sim::Cpu cpu(nullptr, 0, 0);
+    const auto run = system.fs().inode(ino).find(0);
+    ASSERT_TRUE(run.has_value());
+    system.pmem().poisonLine(system.fs().blockAddr(run->physBlock));
+    std::uint8_t got = 0;
+    EXPECT_THROW(system.fs().read(cpu, ino, 0, &got, 1), fs::IoError);
+    EXPECT_FALSE(system.fs().inode(ino).badBlocks.empty());
+
+    system.crash();
+    sim::FaultPlan plan =
+        sim::FaultPlan::atKind(sim::FaultEvent::RecoveryReplay, 0);
+    system.setFaultPlan(&plan);
+    EXPECT_THROW(system.recover(), sim::CrashException);
+    system.crash();
+    system.recover();
+    system.setFaultPlan(nullptr);
+
+    // The bad-block record survived both crashes: the block still
+    // reports EIO rather than serving stale or zero data...
+    EXPECT_FALSE(system.fs().inode(ino).badBlocks.empty());
+    EXPECT_THROW(system.fs().read(cpu, ino, 0, &got, 1), fs::IoError);
+
+    // ...until fsck punches it into a hole, after which it reads as
+    // zeros and the image is clean.
+    EXPECT_GE(system.fs().fsckRepair(), 1u);
+    system.fs().read(cpu, ino, 0, &got, 1);
+    EXPECT_EQ(got, 0u);
+    EXPECT_TRUE(system.fs().fsck().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Personalities, DoubleFault,
+                         ::testing::Values(fs::Personality::Ext4Dax,
+                                           fs::Personality::Nova),
+                         [](const auto &info) {
+                             return info.param == fs::Personality::Ext4Dax
+                                        ? "Ext4Dax"
+                                        : "Nova";
+                         });

@@ -9,6 +9,7 @@
 #include "mem/device.h"
 #include "mem/frame_alloc.h"
 #include "sim/engine.h"
+#include "sim/fault.h"
 
 using namespace dax;
 using namespace dax::mem;
@@ -205,6 +206,159 @@ TEST(Device, WriteBandwidthBelowReadBandwidth)
     const sim::Time wr =
         dev.write(b, 0, 1 << 20, WriteMode::NtStore, Pattern::Seq);
     EXPECT_GT(wr, rd);
+}
+
+// ---------------------------------------------------------------------
+// Media errors: poisoned lines and machine checks
+// ---------------------------------------------------------------------
+
+TEST(MediaError, PoisonedLineRaisesOnReadsOnly)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    const std::uint64_t v = 7;
+    dev.store(4096, &v, sizeof(v));
+    dev.poisonLine(4096 + 8); // anywhere inside the line poisons it
+    EXPECT_TRUE(dev.isPoisoned(4096, 64));
+
+    std::uint64_t got = 0;
+    EXPECT_THROW(dev.fetch(4096, &got, sizeof(got)),
+                 MachineCheckException);
+    auto cpu = scratchCpu();
+    EXPECT_THROW(dev.read(cpu, 4096, 64, Pattern::Seq),
+                 MachineCheckException);
+    EXPECT_THROW(dev.readKernel(cpu, 4096, 64, Pattern::Seq),
+                 MachineCheckException);
+    EXPECT_EQ(dev.mceRaised(), 3u);
+
+    // Writes never consult poison (a dead line accepts stores; it
+    // stays dead until repaired)...
+    dev.store(4096, &v, sizeof(v), WriteMode::NtStore);
+    auto wcpu = scratchCpu();
+    dev.write(wcpu, 4096, 64, WriteMode::NtStore, Pattern::Seq);
+    EXPECT_TRUE(dev.isPoisoned(4096, 64));
+    // ...and the scrub view never raises either.
+    (void)dev.isZero(0, 1 << 20);
+
+    // Neighbouring lines are unaffected.
+    dev.fetch(4096 + 64, &got, sizeof(got));
+
+    // Repair heals the line permanently.
+    dev.clearPoison(4096, 64);
+    EXPECT_FALSE(dev.isPoisoned(4096, 64));
+    dev.fetch(4096, &got, sizeof(got));
+    EXPECT_EQ(got, v);
+}
+
+TEST(MediaError, MachineCheckCarriesLineAddress)
+{
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    const Paddr line = 8192 + 3 * 64;
+    dev.poisonLine(line + 17);
+    std::uint8_t buf[256];
+    try {
+        // The read starts two lines early: the fault address must be
+        // the poisoned line, not the access base.
+        dev.fetch(8192 + 64, buf, sizeof(buf));
+        FAIL() << "poisoned read did not raise";
+    } catch (const MachineCheckException &mc) {
+        EXPECT_EQ(mc.addr(), line);
+    }
+}
+
+TEST(MediaError, BackgroundUesAreSeedDeterministic)
+{
+    sim::MediaSpec spec;
+    spec.seed = 42;
+    spec.backgroundRate = 0.01;
+    Device a(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    Device b(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    a.setMedia(&spec);
+    b.setMedia(&spec);
+
+    std::uint64_t bad = 0;
+    for (Paddr addr = 0; addr < (1 << 20); addr += 64) {
+        ASSERT_EQ(a.isPoisoned(addr, 64), b.isPoisoned(addr, 64));
+        if (a.isPoisoned(addr, 64))
+            bad++;
+    }
+    // ~1% of 16384 lines; loose bounds keep the test seed-robust.
+    EXPECT_GT(bad, 50u);
+    EXPECT_LT(bad, 500u);
+
+    // A different seed draws a different bad-line set.
+    sim::MediaSpec other = spec;
+    other.seed = 43;
+    b.setMedia(&other);
+    bool differs = false;
+    for (Paddr addr = 0; addr < (1 << 20) && !differs; addr += 64)
+        differs = a.isPoisoned(addr, 64) != b.isPoisoned(addr, 64);
+    EXPECT_TRUE(differs);
+}
+
+TEST(MediaError, WearOutPoisonsHotLines)
+{
+    sim::MediaSpec spec;
+    spec.seed = 7;
+    spec.wearScale = 8; // tiny write budgets: lines die fast
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    dev.setMedia(&spec);
+
+    // Hammer one line with durable stores until its budget runs out.
+    const std::uint64_t v = 1;
+    bool died = false;
+    for (int i = 0; i < 10000 && !died; i++) {
+        dev.store(4096, &v, sizeof(v), WriteMode::NtStore);
+        died = dev.isPoisoned(4096, 64);
+    }
+    ASSERT_TRUE(died);
+    std::uint64_t got = 0;
+    EXPECT_THROW(dev.fetch(4096, &got, sizeof(got)),
+                 MachineCheckException);
+    // A cold line is still healthy.
+    dev.fetch(64 * 1024, &got, sizeof(got));
+}
+
+TEST(MediaError, CrashPoisonsTornNtStore)
+{
+    sim::MediaSpec spec;
+    spec.poisonTornStore = true;
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    dev.setMedia(&spec);
+
+    // The crash plan fires from the durable-store boundary: the store
+    // it interrupts never completes its ECC word.
+    sim::FaultPlan plan =
+        sim::FaultPlan::atKind(sim::FaultEvent::DurableStore, 0);
+    dev.setFaultPlan(&plan);
+    std::uint8_t line[64];
+    std::memset(line, 0xab, sizeof(line));
+    EXPECT_THROW(dev.store(4096, line, sizeof(line), WriteMode::NtStore),
+                 sim::CrashException);
+    dev.setFaultPlan(nullptr);
+
+    dev.crash();
+    EXPECT_TRUE(dev.isPoisoned(4096, 64));
+    std::uint64_t got = 0;
+    EXPECT_THROW(dev.fetch(4096, &got, sizeof(got)),
+                 MachineCheckException);
+}
+
+TEST(MediaError, CompletedStoreIsNotTorn)
+{
+    sim::MediaSpec spec;
+    spec.poisonTornStore = true;
+    Device dev(Kind::Pmem, 1 << 20, cm, Backing::Sparse);
+    dev.setMedia(&spec);
+
+    // No crash mid-store: completing the store clears the torn
+    // candidate, so a later power cut poisons nothing.
+    const std::uint64_t v = 5;
+    dev.store(4096, &v, sizeof(v), WriteMode::NtStore);
+    dev.crash();
+    EXPECT_FALSE(dev.isPoisoned(4096, 64));
+    std::uint64_t got = 0;
+    dev.fetch(4096, &got, sizeof(got));
+    EXPECT_EQ(got, v);
 }
 
 TEST(FrameAllocator, AllocZeroesAndRecycles)

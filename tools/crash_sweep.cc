@@ -17,8 +17,12 @@
  *  - fsck() is clean, the zeroed pool re-verifies, DaxVM table images
  *    are sealed.
  *
- * Exit status is nonzero when any crash point violates an invariant.
+ * Failures are aggregated per scenario (personality, crash point,
+ * boundary event) and summarized at the end; the sweep never stops at
+ * the first failing scenario. Exit status is the total violation
+ * count, clamped to the valid exit-code range.
  */
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <map>
@@ -46,6 +50,15 @@ struct SweepConfig
 };
 
 using Key = std::pair<unsigned, unsigned>; // (file, slot)
+
+/** One failing scenario, for the end-of-run summary and exit code. */
+struct ScenarioFailure
+{
+    std::string personality;
+    std::string scenario;   ///< "baseline" or "crash@K"
+    std::string faultPoint; ///< boundary event name ("-" for baseline)
+    int violations = 0;
+};
 
 /** The durability oracle: what must be true after crash + recovery. */
 struct Oracle
@@ -369,9 +382,14 @@ class Harness
     Oracle oracle_;
 };
 
-/** One full sweep over every event index for one fs personality. */
-int
-sweep(const SweepConfig &cfg, fs::Personality personality)
+/**
+ * One full sweep over every event index for one fs personality.
+ * Every failing scenario is appended to @p failures; the sweep keeps
+ * going so one bad crash point cannot mask the rest of the matrix.
+ */
+void
+sweep(const SweepConfig &cfg, fs::Personality personality,
+      std::vector<ScenarioFailure> &failures)
 {
     const char *label =
         personality == fs::Personality::Ext4Dax ? "ext4-dax" : "nova";
@@ -392,8 +410,10 @@ sweep(const SweepConfig &cfg, fs::Personality personality)
         for (const auto &viol : v)
             std::fprintf(stderr, "[%s baseline] %s\n", label,
                          viol.c_str());
-        if (!v.empty())
-            return static_cast<int>(v.size());
+        if (!v.empty()) {
+            failures.push_back({label, "baseline", "-",
+                                static_cast<int>(v.size())});
+        }
     }
     std::printf(
         "[%s] %llu persistence-boundary events "
@@ -415,6 +435,7 @@ sweep(const SweepConfig &cfg, fs::Personality personality)
     for (std::uint64_t k = 0; k < total; k++) {
         Harness h(cfg, personality);
         sim::FaultPlan plan = sim::FaultPlan::atIndex(k);
+        const std::string scenario = "crash@" + std::to_string(k);
         bool crashed = false;
         sim::FaultEvent ev = sim::FaultEvent::DurableStore;
         try {
@@ -427,6 +448,7 @@ sweep(const SweepConfig &cfg, fs::Personality personality)
             std::fprintf(stderr,
                          "[%s] event %llu never fired (run drift?)\n",
                          label, (unsigned long long)k);
+            failures.push_back({label, scenario, "never-fired", 1});
             violations++;
             continue;
         }
@@ -438,6 +460,10 @@ sweep(const SweepConfig &cfg, fs::Personality personality)
                          (unsigned long long)k, sim::faultEventName(ev),
                          viol.c_str());
         }
+        if (!v.empty()) {
+            failures.push_back({label, scenario, sim::faultEventName(ev),
+                                static_cast<int>(v.size())});
+        }
         violations += static_cast<int>(v.size());
         if (cfg.verbose && v.empty()) {
             std::printf("[%s] crash@%llu (%s): ok\n", label,
@@ -446,7 +472,6 @@ sweep(const SweepConfig &cfg, fs::Personality personality)
     }
     std::printf("[%s] swept %llu crash points: %d violation(s)\n", label,
                 (unsigned long long)total, violations);
-    return violations;
 }
 
 } // namespace
@@ -499,10 +524,26 @@ main(int argc, char **argv)
         }
     }
 
-    int violations = 0;
+    std::vector<ScenarioFailure> failures;
     if (fsArg == "ext4" || fsArg == "both")
-        violations += sweep(cfg, fs::Personality::Ext4Dax);
+        sweep(cfg, fs::Personality::Ext4Dax, failures);
     if (fsArg == "nova" || fsArg == "both")
-        violations += sweep(cfg, fs::Personality::Nova);
-    return violations == 0 ? 0 : 1;
+        sweep(cfg, fs::Personality::Nova, failures);
+
+    int total = 0;
+    if (!failures.empty()) {
+        std::fprintf(stderr, "crash_sweep: failing scenarios:\n");
+        for (const auto &f : failures) {
+            std::fprintf(stderr, "  [%s] %-12s %-14s %d violation(s)\n",
+                         f.personality.c_str(), f.scenario.c_str(),
+                         f.faultPoint.c_str(), f.violations);
+            total += f.violations;
+        }
+    }
+    std::printf("crash_sweep: %d violation(s) across %zu failing "
+                "scenario(s)\n",
+                total, failures.size());
+    // The count is the exit status so CI surfaces severity, clamped
+    // below the shell-reserved range (126+).
+    return std::min(total, 100);
 }

@@ -41,6 +41,7 @@ struct Options
     std::uint64_t pmemGb = 2;
     bool aged = true;
     double churn = 3.0;
+    std::string faults;
     std::string jsonPath;
     std::string tracePath;
     std::string foldedPath;
@@ -61,6 +62,12 @@ usage(const char *argv0)
         "  --pmem-gb N          PMem size (default 2)\n"
         "  --aged 0|1           age the image first (default 1)\n"
         "  --churn X            aging churn factor (default 3.0)\n"
+        "  --faults SPEC        crash/media fault injection, e.g.\n"
+        "                       'media=ue:1e-5,policy:remap-zero;"
+        "crash=kind:journal-commit:3'\n"
+        "                       (grammar: docs/robustness.md; the "
+        "DAXVM_FAULTS\n"
+        "                       environment variable is the fallback)\n"
         "  --json PATH          write a BenchResult JSON "
         "(schema: docs/metrics.md)\n"
         "  --trace PATH         write a Chrome trace_event span trace "
@@ -271,6 +278,8 @@ main(int argc, char **argv)
             opt.aged = std::stoul(value()) != 0;
         else if (arg == "--churn")
             opt.churn = std::stod(value());
+        else if (arg == "--faults")
+            opt.faults = value();
         else if (arg == "--json")
             opt.jsonPath = value();
         else if (arg == "--trace")
@@ -280,6 +289,22 @@ main(int argc, char **argv)
         else {
             usage(argv[0]);
             return arg == "--help" ? 0 : 2;
+        }
+    }
+
+    if (opt.faults.empty()) {
+        if (const char *env = std::getenv("DAXVM_FAULTS"))
+            opt.faults = env;
+    }
+    // Declared before the System so the plan outlives it (the System
+    // holds a raw pointer until destruction).
+    sim::FaultSpec faults;
+    if (!opt.faults.empty()) {
+        try {
+            faults = sim::parseFaultSpec(opt.faults);
+        } catch (const std::invalid_argument &e) {
+            std::fprintf(stderr, "daxsim: --faults: %s\n", e.what());
+            return 2;
         }
     }
 
@@ -296,6 +321,12 @@ main(int argc, char **argv)
     config.pmemTableBytes =
         std::max<std::uint64_t>(config.pmemBytes / 16, 128ULL << 20);
     config.dramBytes = 1ULL << 30;
+    if (faults.policy == "remap-zero")
+        config.mediaPolicy = fs::MediaPolicy::RemapZero;
+    else if (faults.policy == "remap-restore")
+        config.mediaPolicy = fs::MediaPolicy::RemapRestore;
+    else if (faults.policy == "fail-fast")
+        config.mediaPolicy = fs::MediaPolicy::FailFast;
     sys::System system(config);
 
     if (opt.aged) {
@@ -305,20 +336,58 @@ main(int argc, char **argv)
         std::printf("# %s\n", report.toString().c_str());
     }
 
+    // Arm injection only after image prep: aging is deterministic
+    // setup, not the run under test, and a crash there would escape
+    // the workload's recovery path below.
+    if (!opt.faults.empty())
+        system.setFaultPlan(&faults.plan);
+
     const AccessOptions access = parseInterface(opt.interface);
     int rc = 2;
-    if (opt.workload == "sweep")
-        rc = runSweep(system, opt, access);
-    else if (opt.workload == "apache")
-        rc = runApache(system, opt, access);
-    else if (opt.workload == "repetitive")
-        rc = runRepetitive(system, opt, access);
-    else if (opt.workload == "search")
-        rc = runSearch(system, opt, access);
-    else if (opt.workload == "ycsb")
-        rc = runYcsb(system, opt, access);
-    else
-        usage(argv[0]);
+    try {
+        if (opt.workload == "sweep")
+            rc = runSweep(system, opt, access);
+        else if (opt.workload == "apache")
+            rc = runApache(system, opt, access);
+        else if (opt.workload == "repetitive")
+            rc = runRepetitive(system, opt, access);
+        else if (opt.workload == "search")
+            rc = runSearch(system, opt, access);
+        else if (opt.workload == "ycsb")
+            rc = runYcsb(system, opt, access);
+        else
+            usage(argv[0]);
+    } catch (const sim::CrashException &e) {
+        // An injected crash fired mid-workload: power-fail, recover,
+        // fsck-repair, then fall through to the stats so the run is
+        // still inspectable. Timing is meaningless; skip throughput.
+        std::printf("crash: injected at %s event #%llu (t=%.3f ms)\n",
+                    sim::faultEventName(e.event()),
+                    (unsigned long long)e.index(),
+                    static_cast<double>(e.at()) / 1e6);
+        const sys::CrashReport cr = system.crash();
+        system.recover();
+        const std::uint64_t punched = system.fs().fsckRepair();
+        std::printf("recovered: %llu dirty line(s) lost, "
+                    "%llu block(s) fsck-punched\n",
+                    (unsigned long long)cr.dirtyLinesLost,
+                    (unsigned long long)punched);
+        rc = 0;
+    } catch (const vm::SigBusException &e) {
+        std::fprintf(stderr,
+                     "daxsim: SIGBUS va=0x%llx pa=0x%llx "
+                     "(uncorrectable media error, fail-fast policy)\n",
+                     (unsigned long long)e.va(),
+                     (unsigned long long)e.paddr());
+        return 1;
+    } catch (const fs::IoError &e) {
+        std::fprintf(stderr,
+                     "daxsim: EIO ino=%llu file_block=%llu "
+                     "(uncorrectable media error, fail-fast policy)\n",
+                     (unsigned long long)e.ino(),
+                     (unsigned long long)e.fileBlock());
+        return 1;
+    }
     if (rc != 0)
         return rc;
     printStats(system);
