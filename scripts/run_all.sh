@@ -79,4 +79,15 @@ fi
 
 python3 scripts/bench_diff.py aggregate "$OUT" -o BENCH_results.json
 python3 scripts/bench_diff.py validate BENCH_results.json
+
+# Deterministic-merge guard (docs/engine.md): the aggregate must be a
+# pure function of the per-bench files — sorted bench order, sorted
+# keys — independent of completion order above. Re-aggregating must
+# reproduce it byte for byte.
+python3 scripts/bench_diff.py aggregate "$OUT" -o BENCH_results.rerun.json
+if ! cmp -s BENCH_results.json BENCH_results.rerun.json; then
+    echo "FAILED: BENCH_results.json aggregation is not deterministic" >&2
+    exit 1
+fi
+rm -f BENCH_results.rerun.json
 echo "wrote BENCH_results.json ($(ls "$OUT"/*.json | wc -l) bench results)"

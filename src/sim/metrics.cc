@@ -4,7 +4,9 @@
  */
 #include "sim/metrics.h"
 
+#include <algorithm>
 #include <bit>
+#include <cassert>
 #include <sstream>
 #include <stdexcept>
 
@@ -207,6 +209,11 @@ MetricsRegistry::snapshot()
 MetricsSnapshot
 MetricsRegistry::peek() const
 {
+    // Deterministic roll-up contract (docs/engine.md): per-core slots
+    // merge in ascending slot index, and the snapshot orders
+    // instruments by name (std::map), never by registration or
+    // host-thread timing. Asserted below so a future container swap
+    // cannot silently break byte-stable output.
     MetricsSnapshot snap;
     for (const auto &entry : entries_) {
         switch (entry.kind) {
@@ -229,6 +236,16 @@ MetricsRegistry::peek() const
         }
         }
     }
+    const auto nameSorted = [](const auto &m) {
+        return std::is_sorted(m.begin(), m.end(),
+                              [](const auto &a, const auto &b) {
+                                  return a.first < b.first;
+                              });
+    };
+    assert(nameSorted(snap.counters) && nameSorted(snap.gauges)
+           && nameSorted(snap.histograms)
+           && "metric roll-up must ascend by instrument name");
+    (void)nameSorted;
     return snap;
 }
 

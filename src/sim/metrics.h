@@ -23,7 +23,12 @@
  * and rolls everything into a single MetricsSnapshot that serializes
  * to JSON (and parses back - see tests/metrics_test.cc).
  *
- * The simulator is single-threaded; nothing here is thread-safe.
+ * Nothing here takes locks. Under the parallel engine (docs/
+ * engine.md) a registry belongs to one System, and a System is one
+ * isolation domain, i.e. one shard: all updates come from a single
+ * host thread per epoch, and snapshots roll up between runs. The
+ * roll-up order (ascending slot index, instruments by name) is
+ * deterministic and asserted in peek().
  */
 #pragma once
 

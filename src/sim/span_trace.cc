@@ -5,6 +5,7 @@
 #include "sim/span_trace.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
@@ -97,12 +98,14 @@ SpanRecorder::SpanRecorder()
 void
 SpanRecorder::setCapacity(std::size_t perTrackEvents)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     capacity_ = perTrackEvents > 0 ? perTrackEvents : 1;
 }
 
 std::uint32_t
 SpanRecorder::attachProcess(MetricsRegistry *counters, const char *label)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     const std::uint32_t pid = nextPid_++;
     currentPid_ = pid;
     processLabels_[pid] =
@@ -116,6 +119,7 @@ SpanRecorder::attachProcess(MetricsRegistry *counters, const char *label)
 void
 SpanRecorder::detachProcess(MetricsRegistry *counters)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     if (counterSource_ == counters)
         counterSource_ = nullptr;
 }
@@ -163,14 +167,18 @@ SpanRecorder::maybeSampleCounters(std::uint32_t track, Time ts)
     }
     nextSampleAt_ = ts + samplePeriod_;
     const MetricsSnapshot snap = counterSource_->peek();
+    // push() directly: counterSample() takes mu_, which the public
+    // caller already holds. Same payload convention (name in detail).
     for (const auto &[name, value] : snap.counters)
-        counterSample(track, ts, name, value);
+        push(SpanPhase::Counter, TraceCat::Fault, track, -1, ts,
+             "counter", value, name);
 }
 
 void
 SpanRecorder::begin(TraceCat cat, std::uint32_t track, int core, Time ts,
                     const char *name, std::string detail)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     maybeSampleCounters(track, ts);
     push(SpanPhase::Begin, cat, track, core, ts, name, 0, detail);
 }
@@ -180,6 +188,7 @@ SpanRecorder::end(TraceCat cat, std::uint32_t track, int core, Time ts,
                   const char *name)
 {
     static const std::string kNoDetail;
+    std::lock_guard<std::mutex> lock(mu_);
     push(SpanPhase::End, cat, track, core, ts, name, 0, kNoDetail);
 }
 
@@ -188,14 +197,18 @@ SpanRecorder::span(TraceCat cat, std::uint32_t track, int core,
                    Time beginTs, Time endTs, const char *name,
                    std::string detail)
 {
-    begin(cat, track, core, beginTs, name, std::move(detail));
-    end(cat, track, core, endTs, name);
+    static const std::string kNoDetail;
+    std::lock_guard<std::mutex> lock(mu_);
+    maybeSampleCounters(track, beginTs);
+    push(SpanPhase::Begin, cat, track, core, beginTs, name, 0, detail);
+    push(SpanPhase::End, cat, track, core, endTs, name, 0, kNoDetail);
 }
 
 void
 SpanRecorder::instant(TraceCat cat, std::uint32_t track, int core, Time ts,
                       const char *name, std::string detail)
 {
+    std::lock_guard<std::mutex> lock(mu_);
     push(SpanPhase::Instant, cat, track, core, ts, name, 0, detail);
 }
 
@@ -205,6 +218,7 @@ SpanRecorder::counterSample(std::uint32_t track, Time ts,
 {
     // Metric names are interned strings owned by a registry that can be
     // destroyed before export, so they travel in `detail`, not `name`.
+    std::lock_guard<std::mutex> lock(mu_);
     push(SpanPhase::Counter, TraceCat::Fault, track, -1, ts, "counter",
          value, name);
 }
@@ -212,6 +226,7 @@ SpanRecorder::counterSample(std::uint32_t track, Time ts,
 void
 SpanRecorder::clear()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     tracks_.clear();
     processLabels_.clear();
     currentPid_ = 1;
@@ -223,6 +238,7 @@ SpanRecorder::clear()
 std::uint64_t
 SpanRecorder::eventCount() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::uint64_t n = 0;
     for (const auto &[key, t] : tracks_)
         n += t.events.size();
@@ -230,12 +246,19 @@ SpanRecorder::eventCount() const
 }
 
 std::uint64_t
-SpanRecorder::droppedCount() const
+SpanRecorder::droppedCountLocked() const
 {
     std::uint64_t n = 0;
     for (const auto &[key, t] : tracks_)
         n += t.dropped;
     return n;
+}
+
+std::uint64_t
+SpanRecorder::droppedCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return droppedCountLocked();
 }
 
 std::vector<const SpanEvent *>
@@ -292,8 +315,17 @@ SpanRecorder::renderChrome(std::string &buf, std::FILE *file) const
     comma();
     buf += "{\"ph\":\"M\",\"pid\":0,\"name\":\"daxvm_dropped_events\","
            "\"args\":{\"value\":"
-        + std::to_string(droppedCount()) + "}}";
+        + std::to_string(droppedCountLocked()) + "}}";
 
+    // Export order is the map's (pid, track) key order -- a pure
+    // function of the simulation, never of recording interleaving.
+    // Asserted so a future container swap can't silently break the
+    // byte-stability of traces (docs/engine.md).
+    assert(std::is_sorted(tracks_.begin(), tracks_.end(),
+                          [](const auto &a, const auto &b) {
+                              return a.first < b.first;
+                          })
+           && "span-trace export must ascend by (pid, track)");
     std::uint32_t lastPid = 0;
     for (const auto &[key, t] : tracks_) {
         const auto pid = static_cast<std::uint32_t>(key >> 32);
@@ -426,6 +458,7 @@ SpanRecorder::renderFolded(std::string &buf, std::FILE *file) const
 void
 SpanRecorder::writeChromeTrace(std::FILE *out) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string buf;
     renderChrome(buf, out);
     if (!buf.empty())
@@ -435,6 +468,7 @@ SpanRecorder::writeChromeTrace(std::FILE *out) const
 std::string
 SpanRecorder::chromeTraceString() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string buf;
     renderChrome(buf, nullptr);
     return buf;
@@ -443,6 +477,7 @@ SpanRecorder::chromeTraceString() const
 void
 SpanRecorder::writeFoldedStacks(std::FILE *out) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string buf;
     renderFolded(buf, out);
     if (!buf.empty())
@@ -452,6 +487,7 @@ SpanRecorder::writeFoldedStacks(std::FILE *out) const
 std::string
 SpanRecorder::foldedStacksString() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string buf;
     renderFolded(buf, nullptr);
     return buf;

@@ -29,6 +29,7 @@
 #include <cstdarg>
 #include <cstdint>
 #include <cstdio>
+#include <mutex>
 #include <string>
 
 #include "sim/engine.h"
@@ -117,6 +118,8 @@ class Trace
 
     unsigned mask_ = 0;
     std::FILE *sink_ = stderr;
+    /** Serializes text-line emission from parallel-engine shards. */
+    std::mutex ioMu_;
     std::string captured_;
     SpanRecorder spans_;
 };
