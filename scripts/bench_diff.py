@@ -210,6 +210,18 @@ def iter_points(doc):
                 yield fig["title"], s["name"], x, v
 
 
+def slo_guarded(title, base, v):
+    """True when a point on an SLO-derived figure should not gate.
+
+    SLO figures (violation shares, saturation-throughput-vs-SLO) read
+    exactly 0 when the underlying latency histogram recorded no samples
+    or no load point met the target — routine for request-count-scaled
+    smoke runs (fig10_openloop --requests). A 0 on either side is
+    "no data", not a measured value: report the swing, never gate.
+    """
+    return "slo" in title.lower() and (base == 0 or v == 0)
+
+
 def diff_results(old, new, threshold):
     """Compare two aggregates; return (regressions, report_lines)."""
     regressions = []
@@ -237,7 +249,8 @@ def diff_results(old, new, threshold):
             pct = 100.0 * (v - base) / abs(base)
             sign = direction(t)
             regressed = (gate and sign != 0 and abs(pct) > threshold
-                         and (pct < 0) == (sign > 0))
+                         and (pct < 0) == (sign > 0)
+                         and not slo_guarded(t, base, v))
             marker = " REGRESSION" if regressed else ""
             if abs(pct) > threshold:
                 lines.append(
@@ -512,10 +525,11 @@ def cmd_perf_diff(args):
 # ----------------------------------------------------------------- selftest
 
 
-def synthetic(values):
-    """A minimal aggregate with one throughput and one latency figure."""
+def synthetic(values, slo=None):
+    """A minimal aggregate with one throughput and one latency figure,
+    plus (optionally) an SLO-derived saturation figure."""
     thr, lat = values
-    return {
+    doc = {
         "schema": AGGREGATE_SCHEMA,
         "results": {
             "fake_bench": {
@@ -544,6 +558,15 @@ def synthetic(values):
             }
         },
     }
+    if slo is not None:
+        doc["results"]["fake_bench"]["figures"].append({
+            "title": "saturation throughput vs p99 SLO "
+                     "(krps, higher is better)",
+            "x_label": "p99 SLO",
+            "xs": ["0.5ms", "1ms"],
+            "series": [{"name": "tenant", "values": slo}],
+        })
+    return doc
 
 
 def synthetic_perf(walk_ratio, flush_ratio, par8_ratio=3.0,
@@ -601,6 +624,23 @@ def cmd_selftest(args):
     regs, _ = diff_results(base, synthetic(([120.0, 240.0], [4.0, 7.0])),
                            DEFAULT_THRESHOLD)
     checks.append(("improvements pass", not regs))
+
+    # SLO figures: a real 20% saturation-throughput drop gates...
+    slo_base = synthetic(([100.0, 200.0], [5.0, 9.0]),
+                         slo=[50.0, 80.0])
+    regs, _ = diff_results(
+        slo_base,
+        synthetic(([100.0, 200.0], [5.0, 9.0]), slo=[40.0, 80.0]),
+        DEFAULT_THRESHOLD)
+    checks.append(("SLO saturation drop caught", len(regs) == 1))
+    # ...but a collapse to exactly 0 means "no qualifying data"
+    # (zero-count histogram in a scaled-down smoke run): report-only.
+    regs, lines = diff_results(
+        slo_base,
+        synthetic(([100.0, 200.0], [5.0, 9.0]), slo=[0.0, 80.0]),
+        DEFAULT_THRESHOLD)
+    checks.append(("SLO zero never gates",
+                   not regs and any("SLO" in ln for ln in lines)))
 
     # Broken documents must fail validation.
     broken = synthetic(([1.0, 2.0], [3.0, 4.0]))

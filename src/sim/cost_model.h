@@ -191,6 +191,8 @@ struct CostModel
     Time httpRequestOverhead = 15000;
     /** Socket write syscall overhead per request. */
     Time socketSyscall = 700;
+    /** TCP accept + fd/session setup for one new client connection. */
+    Time tcpAccept = 4200;
     /** Per-file string-search compute per byte (ag model), ns/byte. */
     double searchNsPerByte = 0.08;
 

@@ -64,23 +64,48 @@ HistogramData::percentile(double p) const
 {
     if (count == 0)
         return 0;
-    if (p < 0.0)
-        p = 0.0;
+    if (p <= 0.0)
+        return min; // the 0th percentile is the minimum by definition
     if (p > 1.0)
         p = 1.0;
-    // Rank of the requested quantile, 1-based; p=0 reads the first
-    // recorded value's bucket.
+    // Rank of the requested quantile, 1-based.
     const double want = p * static_cast<double>(count);
     std::uint64_t rank = static_cast<std::uint64_t>(want);
     if (static_cast<double>(rank) < want || rank == 0)
         rank++;
     std::uint64_t seen = 0;
     for (unsigned i = 0; i < kBuckets; i++) {
+        if (buckets[i] == 0)
+            continue;
+        const std::uint64_t before = seen;
         seen += buckets[i];
-        if (seen >= rank)
-            return bucketUpperBound(i);
+        if (seen < rank)
+            continue;
+        // Log-linear interpolation: the bucket index fixes the
+        // log2 range [2^(i-1), 2^i - 1]; within it, samples are
+        // assumed evenly spread, so the rank's offset into the bucket
+        // maps linearly onto the value range. Integer/__int128 math
+        // only — bit-identical across platforms, no libm.
+        std::uint64_t v = 0;
+        if (i > 0) {
+            const std::uint64_t lo = 1ULL << (i >= 64 ? 63 : i - 1);
+            const std::uint64_t hi = bucketUpperBound(i);
+            const std::uint64_t pos = rank - before; // in [1, cnt]
+            v = lo
+              + static_cast<std::uint64_t>(
+                    static_cast<unsigned __int128>(hi - lo) * pos
+                    / buckets[i]);
+        }
+        // Clamp to the observed range: single-sample histograms are
+        // exact, p=0 can not undershoot min, p=1 can not overshoot
+        // max.
+        if (v < min)
+            v = min;
+        if (v > max)
+            v = max;
+        return v;
     }
-    return bucketUpperBound(kBuckets - 1);
+    return max;
 }
 
 // ---------------------------------------------------------------------
@@ -300,6 +325,7 @@ MetricsSnapshot::toJson() const
         h["buckets"] = std::move(buckets);
         h["p50"] = Json(hist.percentile(0.50));
         h["p99"] = Json(hist.percentile(0.99));
+        h["p999"] = Json(hist.percentile(0.999));
         histObj[name] = std::move(h);
     }
 
@@ -367,7 +393,8 @@ MetricsSnapshot::toString() const
     for (const auto &[name, hist] : histograms) {
         os << name << "=count:" << hist.count << " mean:" << hist.mean()
            << " p50:" << hist.percentile(0.50)
-           << " p99:" << hist.percentile(0.99) << " max:" << hist.max
+           << " p99:" << hist.percentile(0.99)
+           << " p999:" << hist.percentile(0.999) << " max:" << hist.max
            << "\n";
     }
     return os.str();

@@ -70,9 +70,14 @@ struct HistogramData
     void merge(const HistogramData &other);
 
     /**
-     * Value at quantile @p p in [0, 1]: the upper bound of the bucket
-     * where the cumulative count reaches p * count (0 when empty).
-     * Resolution is the bucket width (factor of 2).
+     * Value at quantile @p p in [0, 1], log-linearly interpolated:
+     * the rank lands in a log2 bucket, the value interpolates
+     * linearly across that bucket's [2^(i-1), 2^i - 1] range by the
+     * rank's offset into the bucket, and the result is clamped to the
+     * observed [min, max] (0 when empty). Integer math only, so the
+     * readout is bit-identical across platforms. Single-sample
+     * histograms and p=0 / p=1 are exact; mid-bucket quantiles carry
+     * the even-spread assumption (error bounded by the bucket width).
      */
     std::uint64_t percentile(double p) const;
 

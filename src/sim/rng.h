@@ -49,10 +49,26 @@ class Rng
     std::uint64_t
     below(std::uint64_t bound)
     {
-        // Lemire's multiply-shift rejection-free-enough reduction is
-        // sufficient for workload generation.
-        return static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+        // Lemire's multiply-shift reduction with the rejection loop.
+        // Without it, bounds that do not divide 2^64 give some
+        // outputs one extra preimage (detectably so once bound
+        // approaches 2^63 — see Rng.BelowUnbiasedAtHostileBound). The
+        // loop rejects the bottom (2^64 mod bound) fraction of the
+        // multiplier range; for workload-sized bounds the rejection
+        // probability is ~bound/2^64, so draws are almost always one
+        // next() call and existing sequences are unchanged in
+        // practice.
+        unsigned __int128 m =
+            static_cast<unsigned __int128>(next()) * bound;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < bound) {
+            const std::uint64_t threshold = (0 - bound) % bound;
+            while (lo < threshold) {
+                m = static_cast<unsigned __int128>(next()) * bound;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
     }
 
     /** Uniform double in [0, 1). */
@@ -62,7 +78,68 @@ class Rng
         return static_cast<double>(next() >> 11) * 0x1.0p-53;
     }
 
+    /**
+     * Advance 2^128 steps (xoshiro256** jump polynomial): carves the
+     * period into 2^128 non-overlapping subsequences. Deriving
+     * streams as `Rng(seed + i)` gives no such guarantee — two
+     * SplitMix-seeded states may land arbitrarily close on the orbit.
+     */
+    void
+    jump()
+    {
+        static constexpr std::uint64_t kJump[] = {
+            0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+            0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+        applyJump(kJump);
+    }
+
+    /** Advance 2^192 steps: spaces groups of jump()-derived streams. */
+    void
+    longJump()
+    {
+        static constexpr std::uint64_t kLongJump[] = {
+            0x76e15d3efefdcbbfULL, 0xc5004e441c522fb3ULL,
+            0x77710069854ee241ULL, 0x39109bb02acbe635ULL};
+        applyJump(kLongJump);
+    }
+
+    /**
+     * The n-th independent substream of this generator: a copy
+     * advanced by n jump() calls (n * 2^128 steps). The parent is not
+     * disturbed; streams for distinct n never overlap within 2^128
+     * draws each.
+     */
+    Rng
+    stream(std::uint64_t n) const
+    {
+        Rng r = *this;
+        for (std::uint64_t i = 0; i < n; i++)
+            r.jump();
+        return r;
+    }
+
   private:
+    void
+    applyJump(const std::uint64_t (&poly)[4])
+    {
+        std::uint64_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+        for (std::uint64_t word : poly) {
+            for (int b = 0; b < 64; b++) {
+                if (word & (1ULL << b)) {
+                    s0 ^= state_[0];
+                    s1 ^= state_[1];
+                    s2 ^= state_[2];
+                    s3 ^= state_[3];
+                }
+                next();
+            }
+        }
+        state_[0] = s0;
+        state_[1] = s1;
+        state_[2] = s2;
+        state_[3] = s3;
+    }
+
     static std::uint64_t
     rotl(std::uint64_t x, int k)
     {

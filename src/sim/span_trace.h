@@ -56,6 +56,7 @@ enum class TraceCat : unsigned
     Prezero,
     Latr,
     Lock,
+    Openloop,
     kCount,
 };
 

@@ -29,6 +29,8 @@ traceCatName(TraceCat cat)
         return "latr";
       case TraceCat::Lock:
         return "lock";
+      case TraceCat::Openloop:
+        return "openloop";
       case TraceCat::kCount:
         break;
     }

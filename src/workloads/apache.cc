@@ -7,43 +7,50 @@
 namespace dax::wl {
 
 void
-ApacheWorker::serveOne(sim::Cpu &cpu)
+apacheServeRequest(sim::Cpu &cpu, sys::System &system,
+                   vm::AddressSpace &as, fs::Ino ino,
+                   std::uint64_t bytes, const AccessOptions &access)
 {
-    const sim::CostModel &cm = system_.cm();
-    const fs::Ino ino =
-        config_.pages[rng_.below(config_.pages.size())];
-    const std::uint64_t size = config_.pageBytes;
+    const sim::CostModel &cm = system.cm();
 
     // Request parsing / response generation compute.
     cpu.advance(cm.httpRequestOverhead);
 
     // Apache opens the page per request; the inode cache keeps this a
     // warm open in steady state.
-    const fs::Inode &node = system_.fs().inode(ino);
-    sim::Cpu &c = cpu;
-    c.advance(cm.openBase);
+    const fs::Inode &node = system.fs().inode(ino);
+    cpu.advance(cm.openBase);
     (void)node;
 
-    if (config_.access.interface == Interface::Read) {
+    if (access.interface == Interface::Read) {
         // Copy 1: PMem -> private buffer (kernel read path).
-        system_.fs().read(cpu, ino, 0, nullptr, size);
+        system.fs().read(cpu, ino, 0, nullptr, bytes);
         // Copy 2: buffer (cache-hot) -> socket buffers.
         cpu.advance(cm.socketSyscall);
-        system_.dram().writeKernel(cpu, 0, size, mem::WriteMode::Cached,
-                                   mem::Pattern::Seq);
+        system.dram().writeKernel(cpu, 0, bytes, mem::WriteMode::Cached,
+                                  mem::Pattern::Seq);
     } else {
-        const std::uint64_t va = mapFile(cpu, system_, as_, ino, 0,
-                                         size, false, config_.access);
+        const std::uint64_t va = mapFile(cpu, system, as, ino, 0,
+                                         bytes, false, access);
         if (va == 0)
             throw std::runtime_error("apache: map failed");
         // Single copy: PMem mapping -> socket buffers, performed by
         // the kernel through the user mapping (write(2)).
         cpu.advance(cm.socketSyscall);
-        as_.memRead(cpu, va, size, mem::Pattern::Seq, nullptr,
-                    /*kernelCopy=*/true);
-        unmapFile(cpu, system_, as_, va, size, config_.access);
+        as.memRead(cpu, va, bytes, mem::Pattern::Seq, nullptr,
+                   /*kernelCopy=*/true);
+        unmapFile(cpu, system, as, va, bytes, access);
     }
     cpu.advance(cm.closeBase);
+}
+
+void
+ApacheWorker::serveOne(sim::Cpu &cpu)
+{
+    const fs::Ino ino =
+        config_.pages[rng_.below(config_.pages.size())];
+    apacheServeRequest(cpu, system_, as_, ino, config_.pageBytes,
+                       config_.access);
 }
 
 bool

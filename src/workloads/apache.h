@@ -59,4 +59,15 @@ std::vector<fs::Ino> makeWebPages(sys::System &system,
                                   std::uint64_t count,
                                   std::uint64_t bytes);
 
+/**
+ * Serve one static-page HTTP request: parse/respond compute, open,
+ * transfer @p bytes of @p ino to the socket through the configured
+ * interface, close. Shared by the closed-loop ApacheWorker and the
+ * open-loop Apache tenant (workloads/tenant.h).
+ */
+void apacheServeRequest(sim::Cpu &cpu, sys::System &system,
+                        vm::AddressSpace &as, fs::Ino ino,
+                        std::uint64_t bytes,
+                        const AccessOptions &access);
+
 } // namespace dax::wl

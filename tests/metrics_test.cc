@@ -58,7 +58,7 @@ TEST(HistogramTest, RecordTracksCountSumMinMax)
     EXPECT_DOUBLE_EQ(h.mean(), 200.0);
 }
 
-TEST(HistogramTest, PercentileReadsBucketUpperBounds)
+TEST(HistogramTest, PercentileInterpolatesWithinBuckets)
 {
     HistogramData h;
     // 90 values in bucket 7 ([64, 127]), 10 in bucket 11 ([1024, 2047]).
@@ -66,10 +66,71 @@ TEST(HistogramTest, PercentileReadsBucketUpperBounds)
         h.record(100);
     for (int i = 0; i < 10; i++)
         h.record(2000);
-    EXPECT_EQ(h.percentile(0.5), 127u);
+    // Rank 50 of 90 into [64, 127]: 64 + 63*50/90 = 99, clamped up to
+    // min=100. The old upper-bound walk reported 127 here — a 27%
+    // overstatement.
+    EXPECT_EQ(h.percentile(0.5), 100u);
+    // Rank 90 of 90 lands on the bucket's upper bound exactly.
     EXPECT_EQ(h.percentile(0.9), 127u);
-    EXPECT_EQ(h.percentile(0.95), 2047u);
-    EXPECT_EQ(h.percentile(1.0), 2047u);
+    // Rank 5 of 10 into [1024, 2047]: 1024 + 1023*5/10 = 1535.
+    EXPECT_EQ(h.percentile(0.95), 1535u);
+    // p=1.0 clamps to the recorded max, not the bucket bound (2047).
+    EXPECT_EQ(h.percentile(1.0), 2000u);
+}
+
+TEST(HistogramTest, PercentileEdgeCases)
+{
+    // Empty histogram: every percentile reads 0.
+    HistogramData empty;
+    EXPECT_EQ(empty.percentile(0.0), 0u);
+    EXPECT_EQ(empty.percentile(0.5), 0u);
+    EXPECT_EQ(empty.percentile(1.0), 0u);
+
+    // Single sample: exact at every percentile (min==max clamp).
+    HistogramData one;
+    one.record(777);
+    EXPECT_EQ(one.percentile(0.0), 777u);
+    EXPECT_EQ(one.percentile(0.5), 777u);
+    EXPECT_EQ(one.percentile(0.999), 777u);
+    EXPECT_EQ(one.percentile(1.0), 777u);
+
+    // p=0 reads the recorded min, p=1 the recorded max; out-of-range
+    // arguments clamp rather than misbehave.
+    HistogramData h;
+    h.record(100);
+    h.record(200);
+    h.record(50000);
+    EXPECT_EQ(h.percentile(0.0), 100u);
+    EXPECT_EQ(h.percentile(-1.0), 100u);
+    EXPECT_EQ(h.percentile(1.0), 50000u);
+    EXPECT_EQ(h.percentile(2.0), 50000u);
+
+    // Zeros live in bucket 0 and report exactly 0.
+    HistogramData z;
+    z.record(0);
+    z.record(0);
+    z.record(16);
+    EXPECT_EQ(z.percentile(0.25), 0u);
+    EXPECT_EQ(z.percentile(1.0), 16u);
+
+    // Cross-bucket tail: a lone huge outlier dominates only the very
+    // top of the distribution, and interpolation keeps intermediate
+    // percentiles inside their own bucket's range.
+    HistogramData t;
+    for (int i = 0; i < 999; i++)
+        t.record(1000);
+    t.record(1ULL << 40);
+    // 512 + 511*500/999 = 767 interpolated, clamped up to min=1000.
+    EXPECT_EQ(t.percentile(0.5), 1000u);
+    EXPECT_LE(t.percentile(0.999), 1023u);
+    EXPECT_EQ(t.percentile(1.0), 1ULL << 40);
+    // Monotone in p.
+    std::uint64_t prev = 0;
+    for (const double p : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const std::uint64_t v = t.percentile(p);
+        EXPECT_GE(v, prev) << "p=" << p;
+        prev = v;
+    }
 }
 
 TEST(HistogramTest, MergeAccumulates)

@@ -9,8 +9,10 @@
 #include "workloads/append.h"
 #include "workloads/filesweep.h"
 #include "workloads/kvstore.h"
+#include "workloads/openloop.h"
 #include "workloads/predis.h"
 #include "workloads/repetitive.h"
+#include "workloads/tenant.h"
 #include "workloads/textsearch.h"
 #include "workloads/ycsb.h"
 
@@ -369,4 +371,212 @@ TEST(Ycsb, RunEIssuesScans)
     }
     EXPECT_GT(cpu.now(), before);
     EXPECT_EQ(runner.opsDone(), 500u);
+}
+
+// ---------------------------------------------------------------------
+// Open-loop traffic engine (workloads/openloop.h, workloads/tenant.h)
+// ---------------------------------------------------------------------
+
+TEST(OpenLoop, ArrivalProcessesExactSortedAndOrderIndependent)
+{
+    for (const auto kind : {ArrivalKind::Poisson, ArrivalKind::Bursty,
+                            ArrivalKind::Diurnal}) {
+        ArrivalConfig config;
+        config.kind = kind;
+        config.ratePerSec = 200000.0;
+        config.clients = 4;
+        config.meanSessionRequests = 16.0;
+        config.meanBurstNs = 1000000;
+        config.meanCalmNs = 4000000;
+        config.diurnalPeriodNs = 10000000;
+        const std::uint64_t perClient = 3000;
+
+        // Generate client streams in opposite orders: the schedule
+        // must not depend on which client extends the (Bursty)
+        // modulation timeline first.
+        ArrivalProcess fwd(config, sim::Rng(77));
+        ArrivalProcess rev(config, sim::Rng(77));
+        std::vector<std::vector<Arrival>> a(config.clients);
+        std::vector<std::vector<Arrival>> b(config.clients);
+        for (unsigned c = 0; c < config.clients; c++)
+            a[c] = fwd.generateClient(c, perClient);
+        for (unsigned c = config.clients; c-- > 0;)
+            b[c] = rev.generateClient(c, perClient);
+
+        // Exact per-client counts, strictly increasing timestamps,
+        // sessions open on the first request.
+        for (unsigned c = 0; c < config.clients; c++) {
+            ASSERT_EQ(a[c].size(), perClient);
+            ASSERT_TRUE(a[c].front().newSession);
+            for (std::size_t i = 1; i < a[c].size(); i++)
+                ASSERT_GT(a[c][i].at, a[c][i - 1].at);
+        }
+
+        const auto merged = ArrivalProcess::mergeSchedules(a);
+        const auto mergedRev = ArrivalProcess::mergeSchedules(b);
+        ASSERT_EQ(merged.size(), perClient * config.clients);
+        ASSERT_EQ(mergedRev.size(), merged.size());
+        std::uint64_t sessions = 0;
+        for (std::size_t i = 0; i < merged.size(); i++) {
+            ASSERT_EQ(merged[i].at, mergedRev[i].at);
+            ASSERT_EQ(merged[i].client, mergedRev[i].client);
+            ASSERT_EQ(merged[i].newSession, mergedRev[i].newSession);
+            if (i > 0) {
+                ASSERT_GE(merged[i].at, merged[i - 1].at);
+            }
+            if (merged[i].newSession)
+                sessions++;
+        }
+
+        // Thinning preserves the configured mean rate. The estimator
+        // is count over the span of the *slowest* client stream, which
+        // biases a few percent low; the MMPP's slowly mixing
+        // modulation adds realization noise on top (~12 burst cycles
+        // in this window), hence the wider band for Bursty.
+        const double spanSec =
+            static_cast<double>(merged.back().at) / 1e9;
+        const double rate =
+            static_cast<double>(merged.size()) / spanSec;
+        const double tol = kind == ArrivalKind::Bursty ? 0.3 : 0.12;
+        EXPECT_NEAR(rate, config.ratePerSec, tol * config.ratePerSec)
+            << arrivalKindName(kind);
+        // ...and sessions churn at ~1/meanSessionRequests.
+        const double expectSessions =
+            static_cast<double>(merged.size())
+            / config.meanSessionRequests;
+        EXPECT_NEAR(static_cast<double>(sessions), expectSessions,
+                    0.25 * expectSessions)
+            << arrivalKindName(kind);
+    }
+}
+
+namespace {
+
+/** A miniature fig10-style mix: 3 tenants, 600 requests each. */
+sim::MetricsSnapshot
+runSmallOpenLoopMix()
+{
+    sys::System system(testConfig(1ULL << 30));
+
+    std::vector<TenantSpec> specs(3);
+    TenantSpec &apache = specs[0];
+    apache.name = "apache";
+    apache.kind = TenantKind::Apache;
+    apache.requests = 600;
+    apache.servers = 2;
+    apache.sloNs = 300000;
+    apache.arrival.kind = ArrivalKind::Poisson;
+    apache.arrival.ratePerSec = 150000.0;
+    apache.arrival.clients = 8;
+    apache.pageCount = 16;
+    apache.access.interface = Interface::DaxVm;
+    apache.access.ephemeral = true;
+    apache.access.asyncUnmap = true;
+    apache.access.nosync = true;
+
+    TenantSpec &predis = specs[1];
+    predis.name = "predis";
+    predis.kind = TenantKind::PRedis;
+    predis.requests = 600;
+    predis.servers = 2;
+    predis.sloNs = 100000;
+    predis.arrival.kind = ArrivalKind::Bursty;
+    predis.arrival.ratePerSec = 400000.0;
+    predis.arrival.clients = 8;
+    predis.storeBytes = 4ULL << 20;
+    predis.indexBytes = 512ULL << 10;
+    predis.access.interface = Interface::DaxVm;
+    predis.access.nosync = true;
+
+    TenantSpec &ycsb = specs[2];
+    ycsb.name = "ycsb";
+    ycsb.kind = TenantKind::Ycsb;
+    ycsb.requests = 600;
+    ycsb.servers = 2;
+    ycsb.sloNs = 1000000;
+    ycsb.arrival.kind = ArrivalKind::Diurnal;
+    ycsb.arrival.ratePerSec = 50000.0;
+    ycsb.arrival.clients = 8;
+    ycsb.records = 400;
+    ycsb.access.interface = Interface::DaxVm;
+    ycsb.access.nosync = true;
+
+    sim::Rng master(99);
+    std::vector<std::unique_ptr<Tenant>> tenants;
+    for (std::size_t t = 0; t < specs.size(); t++) {
+        sim::Rng stream = master;
+        for (std::size_t j = 0; j <= t; j++)
+            stream.longJump();
+        tenants.push_back(
+            std::make_unique<Tenant>(system, specs[t], stream));
+    }
+
+    for (std::size_t t = 0; t < tenants.size(); t++) {
+        system.engine().addThread(tenants[t]->makeGenTask(),
+                                  static_cast<int>(t), 0,
+                                  /*domain=*/1 + static_cast<int>(t));
+        if (auto preload = tenants[t]->makePreloadTask())
+            system.engine().addThread(std::move(preload),
+                                      static_cast<int>(t));
+    }
+    system.engine().run();
+
+    const sim::Time base = system.quiesceTime();
+    int core = 0;
+    for (auto &tenant : tenants) {
+        tenant->beginService(base);
+        for (auto &server : tenant->makeServers()) {
+            system.engine().addThread(std::move(server), core, base);
+            core = (core + 1)
+                 % static_cast<int>(system.engine().numCores());
+        }
+    }
+    system.engine().run();
+    return system.snapshotMetrics();
+}
+
+} // namespace
+
+TEST(OpenLoop, TenantMixDeterministicWithConsistentAccounting)
+{
+    const sim::MetricsSnapshot s1 = runSmallOpenLoopMix();
+    const sim::MetricsSnapshot s2 = runSmallOpenLoopMix();
+
+    for (const std::string name : {"apache", "predis", "ycsb"}) {
+        const std::string prefix = "openloop." + name + ".";
+        EXPECT_EQ(s1.counter(prefix + "requests"), 600u) << name;
+
+        const auto it = s1.histograms.find(prefix + "latency_ns");
+        ASSERT_NE(it, s1.histograms.end()) << name;
+        const sim::HistogramData &lat = it->second;
+        EXPECT_EQ(lat.count, 600u) << name;
+
+        // latency = queueing delay + service time, per request, so
+        // the sums must agree exactly.
+        const sim::HistogramData &queued =
+            s1.histograms.at(prefix + "queue_delay_ns");
+        const sim::HistogramData &service =
+            s1.histograms.at(prefix + "service_ns");
+        EXPECT_EQ(lat.sum, queued.sum + service.sum) << name;
+        EXPECT_EQ(queued.count, lat.count) << name;
+        EXPECT_EQ(service.count, lat.count) << name;
+
+        // Connection churn: more than one session, at most one per
+        // request; violations cannot exceed requests.
+        const std::uint64_t conns =
+            s1.counter(prefix + "connections");
+        EXPECT_GT(conns, 1u) << name;
+        EXPECT_LE(conns, 600u) << name;
+        EXPECT_LE(s1.counter(prefix + "slo_violations"), 600u)
+            << name;
+
+        // Bit-identical across runs.
+        EXPECT_EQ(lat, s2.histograms.at(prefix + "latency_ns"))
+            << name;
+        EXPECT_EQ(queued, s2.histograms.at(prefix + "queue_delay_ns"))
+            << name;
+        EXPECT_EQ(s1.counter(prefix + "slo_violations"),
+                  s2.counter(prefix + "slo_violations"))
+            << name;
+    }
 }
