@@ -149,6 +149,13 @@ struct BenchResult
      * deterministic virtual-time data.
      */
     std::vector<FigureData> hostFigures;
+    /**
+     * One windowed-telemetry run per recorded System that had
+     * enableTimeline() on (schema: daxvm-bench-timeline-v1,
+     * docs/metrics.md). Deterministic virtual-time data, validated by
+     * bench_diff.py but never gated.
+     */
+    std::vector<sim::Json> timelineRuns;
 
     sim::Json
     toJson() const
@@ -191,6 +198,25 @@ struct BenchResult
         root["systems_recorded"] =
             sim::Json(std::uint64_t(systemsRecorded));
         root["metrics"] = metrics.toJson();
+        if (!timelineRuns.empty()) {
+            sim::Json timeline = sim::Json::object();
+            timeline["schema"] = sim::Json("daxvm-bench-timeline-v1");
+            sim::Json runs = sim::Json::array();
+            for (const auto &run : timelineRuns)
+                runs.push(run);
+            timeline["runs"] = std::move(runs);
+            root["timeline"] = std::move(timeline);
+        }
+        if (!tracePath.empty() || !foldedPath.empty()) {
+            // Tracing-only section: lets tools refuse attribution over
+            // lossy traces (satellite: trace.dropped_events). Absent
+            // in untraced runs so their JSON stays byte-stable.
+            const auto &rec = sim::Trace::get().spans();
+            sim::Json trace = sim::Json::object();
+            trace["events"] = sim::Json(rec.eventCount());
+            trace["dropped_events"] = sim::Json(rec.droppedCount());
+            root["trace"] = std::move(trace);
+        }
         return root;
     }
 };
@@ -269,6 +295,10 @@ record(sys::System &system)
         r.haveConfig = true;
     }
     r.metrics.merge(system.snapshotMetrics());
+    if (system.timeline() != nullptr) {
+        system.timeline()->close(system.engine().maxThreadClock());
+        r.timelineRuns.push_back(system.timeline()->toJson());
+    }
     r.systemsRecorded++;
 }
 

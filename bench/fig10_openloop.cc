@@ -168,6 +168,13 @@ main(int argc, char **argv)
 
     for (std::size_t li = 0; li < nLoads; li++) {
         sys::System system(benchConfig(2ULL << 30, 16));
+        // Windowed telemetry: 5 ms virtual windows over the open-loop
+        // instruments only (docs/metrics.md). Ticked by the servers;
+        // record() closes it into the JSON "timeline" section.
+        sim::MetricsTimeline::Config timeline;
+        timeline.windowNs = 5'000'000;
+        timeline.prefix = "openloop.";
+        system.enableTimeline(timeline);
         auto specs = mixSpecs(kLoads[li], perPoint);
 
         sim::Rng master(seed);

@@ -44,6 +44,7 @@ import sys
 RESULT_SCHEMA = "daxvm-bench-result-v1"
 AGGREGATE_SCHEMA = "daxvm-bench-aggregate-v1"
 PERF_SCHEMA = "daxvm-bench-perf-v1"
+TIMELINE_SCHEMA = "daxvm-bench-timeline-v1"
 DEFAULT_THRESHOLD = 10.0  # percent
 PERF_DEFAULT_THRESHOLD = 25.0  # percent; host timing is noisy
 # Host-time benches: never gate on them.
@@ -129,6 +130,108 @@ def validate_result(doc, name):
     # never compared, but it must at least be an object when present.
     if "host" in doc and not isinstance(doc["host"], dict):
         problems.append(f"{name}: 'host' present but not an object")
+    # Optional windowed-telemetry section (docs/metrics.md): validated
+    # for internal consistency, but the series are report-only - the
+    # diff comparator never gates on them.
+    if "timeline" in doc:
+        problems += validate_timeline(doc["timeline"], name)
+    # Optional tracing section (only present on --trace runs).
+    if "trace" in doc:
+        trace = doc["trace"]
+        if not isinstance(trace, dict):
+            problems.append(f"{name}: 'trace' present but not an object")
+        else:
+            for key in ("events", "dropped_events"):
+                if not isinstance(trace.get(key), int):
+                    problems.append(
+                        f"{name}: trace.{key} missing or not an int")
+    return problems
+
+
+def validate_timeline(tl, name):
+    """Schema-check one daxvm-bench-timeline-v1 section: monotone
+    window starts, ordered percentiles, and window sums that reconcile
+    with the run totals whenever no window was truncated away."""
+    problems = []
+    if not isinstance(tl, dict):
+        return [f"{name}: 'timeline' is not an object"]
+    if tl.get("schema") != TIMELINE_SCHEMA:
+        problems.append(
+            f"{name}: timeline schema is {tl.get('schema')!r}, "
+            f"want {TIMELINE_SCHEMA!r}")
+    runs = tl.get("runs")
+    if not isinstance(runs, list):
+        return problems + [f"{name}: timeline.runs missing or not a list"]
+    for i, run in enumerate(runs):
+        where = f"{name}: timeline.runs[{i}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        window_ns = run.get("window_ns")
+        if not isinstance(window_ns, int) or window_ns <= 0:
+            problems.append(f"{where}.window_ns missing or not positive")
+        truncated = run.get("truncated_windows")
+        if not isinstance(truncated, int) or truncated < 0:
+            problems.append(f"{where}.truncated_windows malformed")
+            truncated = 1  # suppress the totals reconciliation below
+        windows = run.get("windows")
+        if not isinstance(windows, list):
+            problems.append(f"{where}.windows missing or not a list")
+            continue
+        counter_sums, hist_sums = {}, {}
+        last_start = None
+        for j, win in enumerate(windows):
+            wwhere = f"{where}.windows[{j}]"
+            if not isinstance(win, dict) or not isinstance(
+                    win.get("start_ns"), int):
+                problems.append(f"{wwhere} malformed")
+                continue
+            start = win["start_ns"]
+            if last_start is not None and start <= last_start:
+                problems.append(
+                    f"{wwhere}.start_ns {start} not after previous "
+                    f"{last_start}")
+            last_start = start
+            for cname, v in win.get("counters", {}).items():
+                if not isinstance(v, int) or v < 0:
+                    problems.append(
+                        f"{wwhere}.counters[{cname!r}] malformed")
+                    continue
+                counter_sums[cname] = counter_sums.get(cname, 0) + v
+            for hname, h in win.get("histograms", {}).items():
+                if not isinstance(h, dict) or not isinstance(
+                        h.get("count"), int) or not isinstance(
+                        h.get("sum"), int):
+                    problems.append(
+                        f"{wwhere}.histograms[{hname!r}] malformed")
+                    continue
+                ps = [h.get(p) for p in ("p50", "p99", "p999")]
+                if any(not isinstance(p, int) for p in ps) or not (
+                        ps[0] <= ps[1] <= ps[2]):
+                    problems.append(
+                        f"{wwhere}.histograms[{hname!r}] percentiles "
+                        f"not ordered")
+                prev = hist_sums.get(hname, (0, 0))
+                hist_sums[hname] = (prev[0] + h["count"],
+                                    prev[1] + h["sum"])
+        totals = run.get("totals")
+        if not isinstance(totals, dict):
+            problems.append(f"{where}.totals missing or not an object")
+            continue
+        if truncated:
+            continue  # capped runs legitimately under-sum
+        for cname, v in totals.get("counters", {}).items():
+            if counter_sums.get(cname, 0) != v:
+                problems.append(
+                    f"{where}: counter {cname!r} windows sum to "
+                    f"{counter_sums.get(cname, 0)}, totals say {v}")
+        for hname, h in totals.get("histograms", {}).items():
+            got = hist_sums.get(hname, (0, 0))
+            want = (h.get("count"), h.get("sum"))
+            if got != want:
+                problems.append(
+                    f"{where}: histogram {hname!r} windows sum to "
+                    f"{got}, totals say {want}")
     return problems
 
 
@@ -569,6 +672,36 @@ def synthetic(values, slo=None):
     return doc
 
 
+def synthetic_timeline(starts=(0, 5_000_000), counts=(10, 20),
+                       total=None, p99s=(500, 900)):
+    """A minimal daxvm-bench-timeline-v1 section: one run, one counter
+    and one histogram spread over ``len(starts)`` windows."""
+    total = sum(counts) if total is None else total
+    return {
+        "schema": TIMELINE_SCHEMA,
+        "runs": [{
+            "start_ns": starts[0],
+            "window_ns": 5_000_000,
+            "truncated_windows": 0,
+            "windows": [
+                {
+                    "start_ns": s,
+                    "counters": {"openloop.t.requests": c},
+                    "histograms": {"openloop.t.latency_ns": {
+                        "count": c, "sum": c * 1000,
+                        "p50": p99 // 2, "p99": p99, "p999": p99 + 1}},
+                }
+                for s, c, p99 in zip(starts, counts, p99s)
+            ],
+            "totals": {
+                "counters": {"openloop.t.requests": total},
+                "histograms": {"openloop.t.latency_ns": {
+                    "count": total, "sum": total * 1000}},
+            },
+        }],
+    }
+
+
 def synthetic_perf(walk_ratio, flush_ratio, par8_ratio=3.0,
                    par8_min=2.5):
     """A minimal daxvm-bench-perf-v1 document."""
@@ -648,6 +781,32 @@ def cmd_selftest(args):
         "values"] = [1.0]  # length mismatch vs xs
     checks.append(("length mismatch rejected",
                    bool(validate_doc(broken, "selftest-broken"))))
+
+    # Windowed-telemetry section: clean timelines validate, window
+    # starts must strictly increase, window sums must reconcile with
+    # the run totals (unless windows were truncated away), and the
+    # series never gate (a timeline-bearing pair diffs clean).
+    with_tl = synthetic(([100.0, 200.0], [5.0, 9.0]))
+    with_tl["results"]["fake_bench"]["timeline"] = synthetic_timeline()
+    checks.append(("clean timeline validates",
+                   not validate_doc(with_tl, "selftest-timeline")))
+    bad_order = synthetic_timeline(starts=(5_000_000, 0))
+    checks.append(("non-monotone window starts rejected",
+                   bool(validate_timeline(bad_order, "selftest"))))
+    bad_sum = synthetic_timeline(total=31)
+    checks.append(("window/totals mismatch rejected",
+                   bool(validate_timeline(bad_sum, "selftest"))))
+    truncated_ok = synthetic_timeline(total=31)
+    truncated_ok["runs"][0]["truncated_windows"] = 1
+    checks.append(("truncated run skips totals reconciliation",
+                   not validate_timeline(truncated_ok, "selftest")))
+    bad_pct = synthetic_timeline()
+    bad_pct["runs"][0]["windows"][0]["histograms"][
+        "openloop.t.latency_ns"]["p999"] = 0
+    checks.append(("unordered percentiles rejected",
+                   bool(validate_timeline(bad_pct, "selftest"))))
+    regs, _ = diff_results(with_tl, with_tl, DEFAULT_THRESHOLD)
+    checks.append(("timeline series never gate", not regs))
 
     # Host-perf baseline logic.
     perf = synthetic_perf(1.8, 2.6)

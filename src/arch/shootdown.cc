@@ -14,7 +14,7 @@ namespace dax::arch {
 ShootdownHub::ShootdownHub(const sim::CostModel &cm, unsigned nCores,
                            sim::MetricsRegistry *metrics)
     : cm_(cm), nCores_(nCores), mmus_(nCores, nullptr),
-      pendingDisruption_(nCores, 0),
+      pendingDisruption_(nCores, 0), pendingFlowIds_(nCores),
       ownedMetrics_(metrics != nullptr
                         ? nullptr
                         : std::make_unique<sim::MetricsRegistry>(nCores)),
@@ -52,12 +52,24 @@ ShootdownHub::remoteCount(CoreMask targets, int self) const
 }
 
 void
-ShootdownHub::disturbRemotes(CoreMask targets, int self)
+ShootdownHub::disturbRemotes(sim::Cpu &cpu, CoreMask targets, int self)
 {
+    sim::SpanRecorder &rec = sim::Trace::get().spans();
+    const bool flows = rec.enabled(sim::TraceCat::Shootdown);
     for (unsigned c = 0; c < nCores_; c++) {
         if ((targets & coreBit(static_cast<int>(c))) != 0
             && static_cast<int>(c) != self) {
             pendingDisruption_[c] += cm_.ipiRemoteDisruption;
+            // One causal arrow per victim: it lands inside the
+            // victim's ipi_disruption span at its next quantum start
+            // (drainDisruption), attributing the stall to this
+            // initiator. Ids come from the initiator's own track, so
+            // they are deterministic under any shard count.
+            if (flows) {
+                pendingFlowIds_[c].push_back(rec.flowStart(
+                    sim::TraceCat::Shootdown, sim::spanTrackOf(cpu),
+                    self, cpu.now(), "ipi"));
+            }
         }
     }
 }
@@ -116,7 +128,7 @@ ShootdownHub::shootdownPages(sim::Cpu &cpu, CoreMask targets, Asid asid,
                     m->tlb().invalidatePage(va, asid);
             }
         }
-        disturbRemotes(targets, self);
+        disturbRemotes(cpu, targets, self);
     }
     shootdownNs_.recordAt(self, cpu.now() - begin);
     if (checkHook_ != nullptr)
@@ -144,7 +156,7 @@ ShootdownHub::shootdownFull(sim::Cpu &cpu, CoreMask targets, Asid asid)
                 mmus_[c]->tlb().flushAsid(asid);
             }
         }
-        disturbRemotes(targets, self);
+        disturbRemotes(cpu, targets, self);
     }
     shootdownNs_.recordAt(self, cpu.now() - begin);
     if (checkHook_ != nullptr)
@@ -158,6 +170,20 @@ ShootdownHub::drainDisruption(sim::Cpu &cpu)
         static_cast<unsigned>(cpu.coreId()));
     if (pending > 0) {
         DAX_SPAN(sim::TraceCat::Shootdown, cpu, "ipi_disruption");
+        auto &flows =
+            pendingFlowIds_[static_cast<unsigned>(cpu.coreId())];
+        if (!flows.empty()) {
+            sim::SpanRecorder &rec = sim::Trace::get().spans();
+            if (rec.enabled(sim::TraceCat::Shootdown)) {
+                // Arrows land before the advance: inside the span,
+                // at its begin timestamp.
+                for (const std::uint64_t id : flows)
+                    rec.flowEnd(sim::TraceCat::Shootdown,
+                                sim::spanTrackOf(cpu), cpu.coreId(),
+                                cpu.now(), "ipi", id);
+            }
+            flows.clear();
+        }
         cpu.advance(pending);
         disruptionNs_.addAt(cpu.coreId(),
                             static_cast<std::uint64_t>(pending));

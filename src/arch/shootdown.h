@@ -82,12 +82,14 @@ class ShootdownHub
 
   private:
     unsigned remoteCount(CoreMask targets, int self) const;
-    void disturbRemotes(CoreMask targets, int self);
+    void disturbRemotes(sim::Cpu &cpu, CoreMask targets, int self);
 
     const sim::CostModel &cm_;
     unsigned nCores_;
     std::vector<Mmu *> mmus_;
     std::vector<sim::Time> pendingDisruption_;
+    /** Trace flow ids of undrained IPIs, per victim core. */
+    std::vector<std::vector<std::uint64_t>> pendingFlowIds_;
     sim::CheckHook *checkHook_ = nullptr;
     std::unique_ptr<sim::MetricsRegistry> ownedMetrics_;
     sim::MetricsRegistry *metrics_;

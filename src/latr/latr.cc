@@ -23,7 +23,7 @@ constexpr sim::Time kApplyPerPage = 90;
 
 Latr::Latr(const sim::CostModel &cm, arch::ShootdownHub &hub,
            unsigned nCores)
-    : cm_(cm), hub_(hub), pending_(nCores)
+    : cm_(cm), hub_(hub), pending_(nCores), pendingFlowIds_(nCores)
 {
 }
 
@@ -56,6 +56,8 @@ Latr::lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
         }
     }
 
+    sim::SpanRecorder &rec = sim::Trace::get().spans();
+    const bool flows = rec.enabled(sim::TraceCat::Latr);
     for (unsigned c = 0; c < pending_.size(); c++) {
         if (static_cast<int>(c) == self
             || (targets & arch::coreBit(static_cast<int>(c))) == 0) {
@@ -69,6 +71,14 @@ Latr::lazyShootdown(sim::Cpu &cpu, arch::CoreMask targets,
                 pending_[c].push_back({asid, page});
         }
         lazyCount_ += effective;
+        // Causal arrow enqueue -> victim's latr_drain sweep (one per
+        // victim core and batch; drained together with pending_[c]).
+        if (flows) {
+            pendingFlowIds_[c].push_back(
+                rec.flowStart(sim::TraceCat::Latr,
+                              sim::spanTrackOf(cpu), self, cpu.now(),
+                              "latr"));
+        }
     }
     DAX_TRACE(sim::TraceCat::Latr, cpu, "lazy %s pages=%zu asid=%u",
               fullFlush ? "full-flush" : "batch", pages.size(),
@@ -84,6 +94,17 @@ Latr::drain(sim::Cpu &cpu)
     if (mine.empty())
         return;
     DAX_SPAN(sim::TraceCat::Latr, cpu, "latr_drain");
+    auto &flows =
+        pendingFlowIds_.at(static_cast<unsigned>(cpu.coreId()));
+    if (!flows.empty()) {
+        sim::SpanRecorder &rec = sim::Trace::get().spans();
+        if (rec.enabled(sim::TraceCat::Latr)) {
+            for (const std::uint64_t id : flows)
+                rec.flowEnd(sim::TraceCat::Latr, sim::spanTrackOf(cpu),
+                            cpu.coreId(), cpu.now(), "latr", id);
+        }
+        flows.clear();
+    }
     sim::ScopedLock guard(stateLock_, cpu);
     cpu.advance(kSweepBase);
     for (const auto &p : mine) {

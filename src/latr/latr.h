@@ -87,6 +87,8 @@ class Latr
     arch::ShootdownHub &hub_;
     sim::Mutex stateLock_{"latr_state"};
     std::vector<std::vector<Pending>> pending_; // per core
+    /** Trace flow ids of undrained lazy batches, per victim core. */
+    std::vector<std::vector<std::uint64_t>> pendingFlowIds_;
     std::uint64_t lazyCount_ = 0;
     sim::CheckHook *checkHook_ = nullptr;
 };

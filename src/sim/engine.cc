@@ -30,6 +30,8 @@
 #include <cassert>
 #include <stdexcept>
 
+#include "sim/trace.h"
+
 namespace dax::sim {
 
 namespace {
@@ -47,6 +49,7 @@ struct StepCtx
     unsigned shardIdx = 0;
     int domain = 0;
     Time quantumStart = 0;
+    int threadId = -1; ///< stepping thread (= its span track)
 };
 
 thread_local StepCtx tlsStepCtx;
@@ -169,6 +172,22 @@ Engine::wake(int threadId, Time notBefore)
         const Time horizon = inStep ? ctx.quantumStart : safeHorizon_;
         t.cpu.advanceTo(std::max(notBefore, horizon));
         t.parked = false;
+        // Causal arrow waker -> woken daemon. Bookkeeping only: no
+        // virtual time moves, and both pushes land on tracks this
+        // host thread owns, so ids stay deterministic per shard count.
+        if (inStep && ctx.threadId >= 0) {
+            SpanRecorder &rec = Trace::get().spans();
+            if (rec.enabled(TraceCat::Sched)) {
+                const std::uint64_t id = rec.flowStart(
+                    TraceCat::Sched,
+                    static_cast<std::uint32_t>(ctx.threadId), -1,
+                    ctx.quantumStart, "wake");
+                rec.flowEnd(
+                    TraceCat::Sched,
+                    static_cast<std::uint32_t>(t.cpu.threadId()),
+                    t.cpu.coreId(), t.cpu.now(), "wake", id);
+            }
+        }
         return;
     }
     // Cross-domain: charged the cross-shard lookahead (the minimum
@@ -179,15 +198,25 @@ Engine::wake(int threadId, Time notBefore)
     // count bit-identical.
     const Time at = std::max(
         notBefore, saturatingAdd(ctx.quantumStart, lookahead_));
-    postWake(t, at, ctx.shardIdx);
+    std::uint64_t flowId = 0;
+    if (ctx.threadId >= 0) {
+        SpanRecorder &rec = Trace::get().spans();
+        if (rec.enabled(TraceCat::Sched))
+            flowId = rec.flowStart(
+                TraceCat::Sched,
+                static_cast<std::uint32_t>(ctx.threadId), -1,
+                ctx.quantumStart, "wake");
+    }
+    postWake(t, at, ctx.shardIdx, flowId);
 }
 
 void
-Engine::postWake(ThreadState &t, Time at, unsigned srcShard)
+Engine::postWake(ThreadState &t, Time at, unsigned srcShard,
+                 std::uint64_t flowId)
 {
     ShardState &src = *shards_[srcShard];
     const PendingWake w{at, srcShard, src.wakeSeq++,
-                        t.cpu.threadId()};
+                        t.cpu.threadId(), flowId};
     ShardState &dst = *shards_[t.shard];
     if (t.shard == srcShard) {
         // Same executor host thread: insert in order, no lock needed.
@@ -209,6 +238,14 @@ Engine::applyWake(const PendingWake &w)
     auto &t = *threads_[w.threadId];
     t.cpu.advanceTo(w.at);
     t.parked = false;
+    // Land the causal arrow on the daemon's track. Delivery points
+    // are deterministic (inboxes drain in (at, srcShard, seq) order),
+    // and the daemon's track belongs to the delivering shard.
+    if (w.flowId != 0) {
+        Trace::get().spans().flowEnd(
+            TraceCat::Sched, static_cast<std::uint32_t>(w.threadId),
+            t.cpu.coreId(), t.cpu.now(), "wake", w.flowId);
+    }
 }
 
 void
@@ -330,8 +367,8 @@ Engine::runSequentialLoop()
         steps_++;
         safeHorizon_ = best->cpu.now();
         const StepCtx saved = tlsStepCtx;
-        tlsStepCtx =
-            StepCtx{this, /*shardIdx=*/0, best->domain, safeHorizon_};
+        tlsStepCtx = StepCtx{this, /*shardIdx=*/0, best->domain,
+                             safeHorizon_, best->cpu.threadId()};
         bool more;
         try {
             more = best->task->step(best->cpu);
@@ -513,7 +550,8 @@ Engine::runShardEpoch(unsigned shardIdx, Time horizon)
         sh.safeHorizon = next;
         sh.steppedThisRun = true;
         sh.stepsDelta.fetch_add(1, std::memory_order_relaxed);
-        tlsStepCtx = StepCtx{this, shardIdx, best->domain, next};
+        tlsStepCtx = StepCtx{this, shardIdx, best->domain, next,
+                             best->cpu.threadId()};
         bool more = true;
         try {
             more = best->task->step(best->cpu);

@@ -273,6 +273,8 @@ class Engine
         std::uint32_t srcShard;///< sending shard (tie-break key)
         std::uint64_t seq;     ///< sending shard's sequence number
         int threadId;          ///< parked daemon to wake
+        /** Trace flow id carried to delivery (0 = tracing off). */
+        std::uint64_t flowId = 0;
     };
 
     /** Padded per-thread record: shards touch disjoint cache lines. */
@@ -336,7 +338,8 @@ class Engine
                     int domain);
     Time pruneHorizonFor(const Cpu &cpu) const;
     void assignShards();
-    void postWake(ThreadState &t, Time at, unsigned srcShard);
+    void postWake(ThreadState &t, Time at, unsigned srcShard,
+                  std::uint64_t flowId);
     void applyWake(const PendingWake &w);
     void runSequentialLoop();
     void runParallelLoop();

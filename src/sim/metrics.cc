@@ -10,6 +10,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "sim/trace.h"
+
 namespace dax::sim {
 
 // ---------------------------------------------------------------------
@@ -380,6 +382,200 @@ MetricsSnapshot::fromJson(const Json &json, std::string *error)
         }
     }
     return snap;
+}
+
+// ---------------------------------------------------------------------
+// MetricsTimeline
+// ---------------------------------------------------------------------
+
+namespace {
+
+/**
+ * Histogram activity inside one window: bucket/count/sum deltas of
+ * two cumulative snapshots, with min/max synthesized from the first
+ * and last non-empty delta buckets (cumulative min/max cannot be
+ * subtracted). percentile() clamps against these bounds, which are
+ * exact at bucket granularity.
+ */
+HistogramData
+histDelta(const HistogramData &cur, const HistogramData &prev)
+{
+    HistogramData d;
+    d.count = cur.count - prev.count;
+    d.sum = cur.sum - prev.sum;
+    bool haveMin = false;
+    for (unsigned i = 0; i < HistogramData::kBuckets; i++) {
+        d.buckets[i] = cur.buckets[i] - prev.buckets[i];
+        if (d.buckets[i] == 0)
+            continue;
+        if (!haveMin) {
+            haveMin = true;
+            d.min = i == 0 ? 0 : 1ULL << (i >= 64 ? 63 : i - 1);
+        }
+        d.max = HistogramData::bucketUpperBound(i);
+    }
+    return d;
+}
+
+Json
+histWindowJson(const HistogramData &d)
+{
+    Json h = Json::object();
+    h["count"] = d.count;
+    h["sum"] = d.sum;
+    h["p50"] = d.percentile(0.50);
+    h["p99"] = d.percentile(0.99);
+    h["p999"] = d.percentile(0.999);
+    return h;
+}
+
+} // namespace
+
+MetricsTimeline::MetricsTimeline(MetricsRegistry &registry,
+                                 Config config)
+    : registry_(&registry), cfg_(std::move(config))
+{
+    if (cfg_.windowNs <= 0)
+        throw std::invalid_argument(
+            "MetricsTimeline: windowNs must be >= 1");
+    if (cfg_.maxWindows == 0)
+        cfg_.maxWindows = 1;
+}
+
+MetricsSnapshot
+MetricsTimeline::filtered() const
+{
+    MetricsSnapshot snap = registry_->peek();
+    if (cfg_.prefix.empty())
+        return snap;
+    const auto keep = [&](const std::string &name) {
+        return name.compare(0, cfg_.prefix.size(), cfg_.prefix) == 0;
+    };
+    std::erase_if(snap.counters,
+                  [&](const auto &kv) { return !keep(kv.first); });
+    std::erase_if(snap.gauges,
+                  [&](const auto &kv) { return !keep(kv.first); });
+    std::erase_if(snap.histograms,
+                  [&](const auto &kv) { return !keep(kv.first); });
+    return snap;
+}
+
+void
+MetricsTimeline::roll(Time boundary, std::uint32_t traceTrack)
+{
+    MetricsSnapshot cur = filtered();
+    Json counters = Json::object();
+    for (const auto &[name, value] : cur.counters) {
+        const std::uint64_t prev = last_.counter(name);
+        if (value > prev)
+            counters[name] = value - prev;
+    }
+    Json hists = Json::object();
+    for (const auto &[name, h] : cur.histograms) {
+        const auto it = last_.histograms.find(name);
+        static const HistogramData kEmpty;
+        const HistogramData d =
+            histDelta(h, it != last_.histograms.end() ? it->second
+                                                      : kEmpty);
+        if (d.count == 0)
+            continue;
+        hists[name] = histWindowJson(d);
+        if (traceTrack != kNoTrack) {
+            Trace::get().spans().counterSample(
+                traceTrack, boundary, name + ".win_p99",
+                d.percentile(0.99));
+        }
+    }
+    if (!counters.fields().empty() || !hists.fields().empty()) {
+        if (windows_.size() < cfg_.maxWindows) {
+            Json w = Json::object();
+            w["start_ns"] = static_cast<std::uint64_t>(windowStart_);
+            w["counters"] = std::move(counters);
+            w["histograms"] = std::move(hists);
+            windows_.push_back(std::move(w));
+        } else {
+            truncated_++;
+        }
+        last_ = std::move(cur);
+    }
+    windowStart_ = boundary;
+}
+
+void
+MetricsTimeline::tick(Time now, std::uint32_t traceTrack)
+{
+    if (closed_)
+        return;
+    if (!started_) {
+        started_ = true;
+        startNs_ = now;
+        windowStart_ = now;
+        baseline_ = filtered();
+        last_ = baseline_;
+        return;
+    }
+    if (now < windowStart_ + cfg_.windowNs)
+        return;
+    // The whole delta since the last roll lands in the closing window
+    // (interval snapshots cannot subdivide it further); any remaining
+    // crossed windows are then empty and skipped in O(1).
+    roll(windowStart_ + cfg_.windowNs, traceTrack);
+    if (now >= windowStart_ + cfg_.windowNs) {
+        const Time skipped = (now - windowStart_) / cfg_.windowNs;
+        windowStart_ += skipped * cfg_.windowNs;
+    }
+}
+
+void
+MetricsTimeline::close(Time now)
+{
+    if (closed_)
+        return;
+    closed_ = true;
+    if (!started_)
+        return;
+    // Final (possibly partial) window, so the per-window counts sum
+    // to the totals exactly.
+    roll(std::max(now, windowStart_), kNoTrack);
+
+    const MetricsSnapshot fin = filtered();
+    Json counters = Json::object();
+    for (const auto &[name, value] : fin.counters) {
+        const std::uint64_t base = baseline_.counter(name);
+        if (value > base)
+            counters[name] = value - base;
+    }
+    Json hists = Json::object();
+    for (const auto &[name, h] : fin.histograms) {
+        const auto it = baseline_.histograms.find(name);
+        static const HistogramData kEmpty;
+        const HistogramData d = histDelta(
+            h, it != baseline_.histograms.end() ? it->second : kEmpty);
+        if (d.count == 0)
+            continue;
+        Json t = Json::object();
+        t["count"] = d.count;
+        t["sum"] = d.sum;
+        hists[name] = std::move(t);
+    }
+    totals_ = Json::object();
+    totals_["counters"] = std::move(counters);
+    totals_["histograms"] = std::move(hists);
+}
+
+Json
+MetricsTimeline::toJson() const
+{
+    Json run = Json::object();
+    run["start_ns"] = static_cast<std::uint64_t>(startNs_);
+    run["window_ns"] = static_cast<std::uint64_t>(cfg_.windowNs);
+    run["truncated_windows"] = truncated_;
+    Json windows = Json::array();
+    for (const Json &w : windows_)
+        windows.push(w);
+    run["windows"] = std::move(windows);
+    run["totals"] = totals_.isObject() ? totals_ : Json::object();
+    return run;
 }
 
 std::string

@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "sim/json.h"
+#include "sim/time.h"
 
 namespace dax::sim {
 
@@ -314,6 +315,79 @@ class MetricsRegistry
     std::deque<Entry> entries_; ///< deque: handles stay stable
     std::map<std::string, std::size_t> index_;
     std::vector<std::function<void()>> collectors_;
+};
+
+/**
+ * Windowed time-series telemetry over one registry: interval
+ * snapshots per virtual-time window, yielding counter-rate and
+ * histogram-percentile-vs-time series (`daxvm-bench-timeline-v1` in
+ * bench JSON, docs/metrics.md).
+ *
+ * The timeline is passive: tick(now) is called from workload quantum
+ * boundaries and rolls a window when `now` crosses its end. Deltas
+ * between consecutive peek()s are attributed to the window that
+ * closes, so the sum of all window counts equals the run totals
+ * exactly (asserted by scripts/bench_diff.py validation). Empty
+ * windows are skipped in O(1); windows beyond `maxWindows` are
+ * counted in `truncated_windows` rather than silently dropped.
+ *
+ * Everything is virtual-time driven and single-shard (a System's
+ * shared domain), so the series are bit-identical for any
+ * DAXVM_SIM_THREADS and never advance simulated time.
+ */
+class MetricsTimeline
+{
+  public:
+    struct Config
+    {
+        /** Window width in virtual ns. */
+        Time windowNs = 5'000'000;
+        /** Only metrics whose name starts with this ("" = all). */
+        std::string prefix;
+        /** Stored-window cap; excess windows count as truncated. */
+        std::size_t maxWindows = 4096;
+    };
+
+    /** tick() traceTrack sentinel: no Chrome counter emission. */
+    static constexpr std::uint32_t kNoTrack = 0xffffffffu;
+
+    MetricsTimeline(MetricsRegistry &registry, Config config);
+
+    /**
+     * Observe virtual time @p now; rolls any windows it crossed. The
+     * first tick baselines the registry and opens the first window.
+     * @p traceTrack, when not kNoTrack, emits windowed p99 samples as
+     * Chrome counter events on that span track at each roll.
+     */
+    void tick(Time now, std::uint32_t traceTrack = kNoTrack);
+
+    /** Roll the final partial window and freeze the totals. */
+    void close(Time now);
+
+    bool closed() const { return closed_; }
+    Time windowNs() const { return cfg_.windowNs; }
+    std::size_t windowCount() const { return windows_.size(); }
+    std::uint64_t truncatedWindows() const { return truncated_; }
+
+    /** One timeline run object (see docs/metrics.md for the schema). */
+    Json toJson() const;
+
+  private:
+    /** Close the window [windowStart_, boundary) against peek(). */
+    void roll(Time boundary, std::uint32_t traceTrack);
+    MetricsSnapshot filtered() const;
+
+    MetricsRegistry *registry_;
+    Config cfg_;
+    bool started_ = false;
+    bool closed_ = false;
+    Time startNs_ = 0;
+    Time windowStart_ = 0;
+    MetricsSnapshot baseline_;
+    MetricsSnapshot last_;
+    std::vector<Json> windows_;
+    std::uint64_t truncated_ = 0;
+    Json totals_;
 };
 
 /** Name-prefix view of a registry ("vm" + "faults" -> "vm.faults"). */

@@ -83,6 +83,90 @@ trackName(std::uint32_t track)
     return "thread " + std::to_string(track);
 }
 
+void
+appendFlowId(std::string &buf, std::uint64_t id)
+{
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "0x%" PRIx64, id);
+    buf += hex;
+}
+
+/** One trace event as a Chrome trace_event JSON object. */
+void
+appendEventJson(std::string &buf, std::uint32_t pid, std::uint32_t track,
+                const SpanEvent &e)
+{
+    const std::string ids = "\"pid\":" + std::to_string(pid)
+        + ",\"tid\":" + std::to_string(track) + ",\"ts\":";
+    switch (e.phase) {
+      case SpanPhase::Begin:
+        buf += "{\"ph\":\"B\"," + ids;
+        appendTsUs(buf, e.ts);
+        buf += ",\"cat\":\"";
+        buf += traceCatName(e.cat);
+        buf += "\",\"name\":\"";
+        buf += e.name;
+        buf += "\",\"args\":{\"core\":" + std::to_string(e.core);
+        if (!e.detail.empty()) {
+            buf += ",\"detail\":\"";
+            appendEscaped(buf, e.detail);
+            buf += "\"";
+        }
+        buf += "}}";
+        break;
+      case SpanPhase::End:
+        buf += "{\"ph\":\"E\"," + ids;
+        appendTsUs(buf, e.ts);
+        buf += ",\"cat\":\"";
+        buf += traceCatName(e.cat);
+        buf += "\",\"name\":\"";
+        buf += e.name;
+        buf += "\"}";
+        break;
+      case SpanPhase::Instant:
+        buf += "{\"ph\":\"i\"," + ids;
+        appendTsUs(buf, e.ts);
+        buf += ",\"s\":\"t\",\"cat\":\"";
+        buf += traceCatName(e.cat);
+        buf += "\",\"name\":\"";
+        buf += e.name;
+        buf += "\",\"args\":{\"core\":" + std::to_string(e.core);
+        if (!e.detail.empty()) {
+            buf += ",\"detail\":\"";
+            appendEscaped(buf, e.detail);
+            buf += "\"";
+        }
+        buf += "}}";
+        break;
+      case SpanPhase::Counter:
+        buf += "{\"ph\":\"C\"," + ids;
+        appendTsUs(buf, e.ts);
+        buf += ",\"name\":\"";
+        appendEscaped(buf, e.detail);
+        buf += "\",\"args\":{\"value\":" + std::to_string(e.value)
+            + "}}";
+        break;
+      case SpanPhase::FlowStart:
+      case SpanPhase::FlowStep:
+      case SpanPhase::FlowEnd:
+        buf += e.phase == SpanPhase::FlowStart ? "{\"ph\":\"s\","
+            : e.phase == SpanPhase::FlowStep   ? "{\"ph\":\"t\","
+                                               : "{\"ph\":\"f\","
+                                                 "\"bp\":\"e\",";
+        buf += ids;
+        appendTsUs(buf, e.ts);
+        buf += ",\"cat\":\"";
+        buf += traceCatName(e.cat);
+        buf += "\",\"name\":\"";
+        buf += e.name;
+        buf += "\",\"id\":\"";
+        appendFlowId(buf, e.value);
+        buf += "\",\"args\":{\"core\":" + std::to_string(e.core)
+            + "}}";
+        break;
+    }
+}
+
 } // namespace
 
 SpanRecorder::SpanRecorder()
@@ -143,6 +227,16 @@ SpanRecorder::push(SpanPhase phase, TraceCat cat, std::uint32_t track,
                    int core, Time ts, const char *name,
                    std::uint64_t value, const std::string &detail)
 {
+    Track &t = tracks_[(std::uint64_t(currentPid_) << 32) | track];
+    // A flow's source timestamp can predate events the source track
+    // recorded later in the same quantum (e.g. a wake stamped at
+    // quantum start). Clamp flow phases up to the track's newest
+    // event — deterministic, and keeps every track monotone.
+    if (phase == SpanPhase::FlowStart || phase == SpanPhase::FlowStep
+        || phase == SpanPhase::FlowEnd) {
+        ts = std::max(ts, t.lastTs);
+    }
+    t.lastTs = std::max(t.lastTs, ts);
     SpanEvent &e = nextSlot(track);
     e.phase = phase;
     e.cat = cat;
@@ -223,11 +317,123 @@ SpanRecorder::counterSample(std::uint32_t track, Time ts,
          value, name);
 }
 
+std::uint64_t
+SpanRecorder::flowStart(TraceCat cat, std::uint32_t track, int core,
+                        Time ts, const char *name)
+{
+    static const std::string kNoDetail;
+    std::lock_guard<std::mutex> lock(mu_);
+    Track &t = tracks_[(std::uint64_t(currentPid_) << 32) | track];
+    const std::uint64_t id =
+        (std::uint64_t(currentPid_ & 0xffff) << 48)
+        | (std::uint64_t(track & 0xffffff) << 24)
+        | (t.flowNext++ & 0xffffff);
+    push(SpanPhase::FlowStart, cat, track, core, ts, name, id,
+         kNoDetail);
+    return id;
+}
+
+void
+SpanRecorder::flowStep(TraceCat cat, std::uint32_t track, int core,
+                       Time ts, const char *name, std::uint64_t id)
+{
+    static const std::string kNoDetail;
+    std::lock_guard<std::mutex> lock(mu_);
+    push(SpanPhase::FlowStep, cat, track, core, ts, name, id, kNoDetail);
+}
+
+void
+SpanRecorder::flowEnd(TraceCat cat, std::uint32_t track, int core,
+                      Time ts, const char *name, std::uint64_t id)
+{
+    static const std::string kNoDetail;
+    std::lock_guard<std::mutex> lock(mu_);
+    push(SpanPhase::FlowEnd, cat, track, core, ts, name, id, kNoDetail);
+}
+
+SpanRecorder::CaptureMark
+SpanRecorder::captureMark(std::uint32_t track) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it =
+        tracks_.find((std::uint64_t(currentPid_) << 32) | track);
+    if (it == tracks_.end())
+        return {};
+    return {it->second.events.size() + it->second.dropped};
+}
+
+void
+SpanRecorder::recordRequestExemplar(const std::string &group,
+                                    std::uint64_t seq, Time arrivalNs,
+                                    Time startNs, Time doneNs,
+                                    std::uint32_t track,
+                                    CaptureMark mark, std::size_t topK)
+{
+    if (topK == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    const std::uint64_t latency =
+        doneNs > arrivalNs ? doneNs - arrivalNs : 0;
+    auto &pool = exemplars_[{currentPid_, group}];
+    const auto slower = [&](const SpanExemplar &e) {
+        if (e.latencyNs != latency)
+            return e.latencyNs > latency;
+        return e.seq < seq;
+    };
+    // Reject before copying: a full reservoir whose slowest entry
+    // beats this request costs one comparison, not an event copy.
+    if (pool.size() >= topK && slower(pool.back()))
+        return;
+
+    SpanExemplar ex;
+    ex.pid = currentPid_;
+    ex.group = group;
+    ex.seq = seq;
+    ex.arrivalNs = arrivalNs;
+    ex.startNs = startNs;
+    ex.doneNs = doneNs;
+    ex.latencyNs = latency;
+    ex.track = track;
+    const auto it =
+        tracks_.find((std::uint64_t(currentPid_) << 32) | track);
+    if (it != tracks_.end()) {
+        const Track &t = it->second;
+        const std::uint64_t pushed = t.events.size() + t.dropped;
+        std::uint64_t n = pushed - mark.pushed;
+        if (n > t.events.size()) {
+            ex.truncated = true; // ring lapped the request's own start
+            n = t.events.size();
+        }
+        const std::vector<const SpanEvent *> all = ordered(t);
+        ex.events.reserve(n);
+        for (std::size_t i = all.size() - n; i < all.size(); i++)
+            ex.events.push_back(*all[i]);
+    }
+    const auto pos = std::find_if(pool.begin(), pool.end(),
+                                  [&](const SpanExemplar &e) {
+                                      return !slower(e);
+                                  });
+    pool.insert(pos, std::move(ex));
+    if (pool.size() > topK)
+        pool.pop_back();
+}
+
+std::vector<SpanExemplar>
+SpanRecorder::exemplars() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<SpanExemplar> out;
+    for (const auto &[key, pool] : exemplars_)
+        out.insert(out.end(), pool.begin(), pool.end());
+    return out;
+}
+
 void
 SpanRecorder::clear()
 {
     std::lock_guard<std::mutex> lock(mu_);
     tracks_.clear();
+    exemplars_.clear();
     processLabels_.clear();
     currentPid_ = 1;
     nextPid_ = 2;
@@ -350,61 +556,43 @@ SpanRecorder::renderChrome(std::string &buf, std::FILE *file) const
 
         for (const SpanEvent &e : balanced(t)) {
             comma();
-            const std::string ids = "\"pid\":" + std::to_string(pid)
-                + ",\"tid\":" + std::to_string(track) + ",\"ts\":";
-            switch (e.phase) {
-              case SpanPhase::Begin:
-                buf += "{\"ph\":\"B\"," + ids;
-                appendTsUs(buf, e.ts);
-                buf += ",\"cat\":\"";
-                buf += traceCatName(e.cat);
-                buf += "\",\"name\":\"";
-                buf += e.name;
-                buf += "\",\"args\":{\"core\":" + std::to_string(e.core);
-                if (!e.detail.empty()) {
-                    buf += ",\"detail\":\"";
-                    appendEscaped(buf, e.detail);
-                    buf += "\"";
-                }
-                buf += "}}";
-                break;
-              case SpanPhase::End:
-                buf += "{\"ph\":\"E\"," + ids;
-                appendTsUs(buf, e.ts);
-                buf += ",\"cat\":\"";
-                buf += traceCatName(e.cat);
-                buf += "\",\"name\":\"";
-                buf += e.name;
-                buf += "\"}";
-                break;
-              case SpanPhase::Instant:
-                buf += "{\"ph\":\"i\"," + ids;
-                appendTsUs(buf, e.ts);
-                buf += ",\"s\":\"t\",\"cat\":\"";
-                buf += traceCatName(e.cat);
-                buf += "\",\"name\":\"";
-                buf += e.name;
-                buf += "\",\"args\":{\"core\":" + std::to_string(e.core);
-                if (!e.detail.empty()) {
-                    buf += ",\"detail\":\"";
-                    appendEscaped(buf, e.detail);
-                    buf += "\"";
-                }
-                buf += "}}";
-                break;
-              case SpanPhase::Counter:
-                buf += "{\"ph\":\"C\"," + ids;
-                appendTsUs(buf, e.ts);
-                buf += ",\"name\":\"";
-                appendEscaped(buf, e.detail);
-                buf += "\",\"args\":{\"value\":"
-                    + std::to_string(e.value) + "}}";
-                break;
-            }
+            appendEventJson(buf, pid, track, e);
             flushIfFull(buf, file);
         }
     }
-    buf += "\n]}\n";
+    buf += "\n]";
+
+    // Preserved slowest-request span trees (docs/tracing.md). An
+    // extra top-level key is legal Chrome-trace JSON: Perfetto and
+    // analyzeChromeTrace() ignore it; tools/tail_report reads it.
+    bool anyExemplar = false;
+    for (const auto &[key, pool] : exemplars_) {
+        for (const SpanExemplar &ex : pool) {
+            buf += anyExemplar ? ",\n" : ",\n\"daxvmRequestExemplars\":[\n";
+            anyExemplar = true;
+            buf += "{\"pid\":" + std::to_string(ex.pid) + ",\"group\":\"";
+            appendEscaped(buf, ex.group);
+            buf += "\",\"seq\":" + std::to_string(ex.seq)
+                + ",\"arrival_ns\":" + std::to_string(ex.arrivalNs)
+                + ",\"start_ns\":" + std::to_string(ex.startNs)
+                + ",\"done_ns\":" + std::to_string(ex.doneNs)
+                + ",\"latency_ns\":" + std::to_string(ex.latencyNs)
+                + ",\"track\":" + std::to_string(ex.track)
+                + ",\"truncated\":";
+            buf += ex.truncated ? "true" : "false";
+            buf += ",\"events\":[";
+            for (std::size_t i = 0; i < ex.events.size(); i++) {
+                if (i > 0)
+                    buf += ",";
+                appendEventJson(buf, ex.pid, ex.track, ex.events[i]);
+                flushIfFull(buf, file);
+            }
+            buf += "]}";
+        }
+    }
+    if (anyExemplar)
+        buf += "\n]";
+    buf += "}\n";
 }
 
 void
@@ -555,8 +743,10 @@ analyzeChromeTrace(const Json &doc)
             }
             continue;
         }
-        if (phase != "B" && phase != "E" && phase != "i"
-            && phase != "C") {
+        const bool isFlow =
+            phase == "s" || phase == "t" || phase == "f";
+        if (phase != "B" && phase != "E" && phase != "i" && phase != "C"
+            && !isFlow) {
             report.problems.push_back("event " + std::to_string(at)
                                       + ": unknown ph '" + phase + "'");
             continue;
@@ -584,6 +774,14 @@ analyzeChromeTrace(const Json &doc)
         track.seen = true;
         track.lastNs = std::max(track.lastNs, tsNs);
 
+        if (isFlow) {
+            report.flowEvents++;
+            const Json *id = ev.find("id");
+            if (id == nullptr || (!id->isString() && !id->isNumber()))
+                report.problems.push_back("event " + std::to_string(at)
+                                          + ": flow phase without id");
+            continue;
+        }
         if (phase == "i" || phase == "C")
             continue;
 
@@ -674,14 +872,37 @@ formatTraceReport(const TraceReport &report, std::size_t topN)
     char line[256];
 
     std::snprintf(line, sizeof(line),
-                  "events: %" PRIu64 "  dropped: %" PRIu64
-                  "  problems: %zu  ts-regressions: %" PRIu64 "\n",
-                  report.events, report.dropped, report.problems.size(),
-                  report.nonMonotone);
+                  "events: %" PRIu64 "  flows: %" PRIu64
+                  "  dropped: %" PRIu64 "  problems: %zu"
+                  "  ts-regressions: %" PRIu64 "\n",
+                  report.events, report.flowEvents, report.dropped,
+                  report.problems.size(), report.nonMonotone);
     out += line;
     if (report.dropped > 0) {
-        out += "warning: ring overflow dropped events; totals "
-               "undercount (raise DAXVM_TRACE_EVENTS)\n";
+        // Ring overflow means the spans below are a biased sample:
+        // whatever wrapped first is undercounted. Attribution tables
+        // over such a window would claim precision the data no longer
+        // has, so refuse them instead of printing wrong percentages.
+        std::snprintf(line, sizeof(line),
+                      "attribution refused: ring overflow dropped %"
+                      PRIu64 " events, totals would undercount "
+                      "(raise DAXVM_TRACE_EVENTS)\n",
+                      report.dropped);
+        out += line;
+        if (!report.problems.empty()) {
+            out += "\nproblems:\n";
+            std::size_t shownProblems = 0;
+            for (const std::string &p : report.problems) {
+                if (shownProblems++ >= 20) {
+                    out += "  ... ("
+                        + std::to_string(report.problems.size() - 20)
+                        + " more)\n";
+                    break;
+                }
+                out += "  " + p + "\n";
+            }
+        }
+        return out;
     }
 
     std::vector<std::pair<std::string, SpanStat>> byName(

@@ -57,6 +57,7 @@ enum class TraceCat : unsigned
     Latr,
     Lock,
     Openloop,
+    Sched,
     kCount,
 };
 
@@ -68,6 +69,9 @@ enum class SpanPhase : std::uint8_t
     End,
     Instant,
     Counter,
+    FlowStart, ///< Chrome "s": causal arrow leaves this track
+    FlowStep,  ///< Chrome "t": arrow passes through
+    FlowEnd,   ///< Chrome "f" (bp:e): arrow lands on this track
 };
 
 struct SpanEvent
@@ -79,8 +83,30 @@ struct SpanEvent
     std::int32_t core;
     Time ts;
     const char *name;    ///< static string literal
-    std::uint64_t value; ///< Counter payload
+    std::uint64_t value; ///< Counter payload, or flow id (Flow* phases)
     std::string detail;  ///< optional formatted args ("" = none)
+};
+
+/**
+ * One preserved request span tree: the slowest requests per (process,
+ * group) survive ring overflow because their events are copied out of
+ * the ring at request completion, before any later wrap can evict
+ * them. `truncated` marks a capture whose leading events had already
+ * been overwritten when the request finished (ring smaller than one
+ * request's footprint).
+ */
+struct SpanExemplar
+{
+    std::uint32_t pid = 0;
+    std::string group; ///< reservoir key, e.g. the tenant name
+    std::uint64_t seq = 0;
+    Time arrivalNs = 0;
+    Time startNs = 0;
+    Time doneNs = 0;
+    std::uint64_t latencyNs = 0; ///< doneNs - arrivalNs
+    std::uint32_t track = 0;
+    bool truncated = false;
+    std::vector<SpanEvent> events;
 };
 
 /** Tracks for engineless scratch Cpus start here (see spanTrackOf). */
@@ -135,6 +161,49 @@ class SpanRecorder
     void counterSample(std::uint32_t track, Time ts,
                        const std::string &name, std::uint64_t value);
 
+    /**
+     * Start a causal flow (Chrome `s`) on @p track and return its id.
+     * Ids are allocated from a per-track counter, so they are a pure
+     * function of the simulation: `(pid << 48) | (track << 24) | seq`.
+     * No global atomics — per-track push order is deterministic under
+     * the parallel engine, hence so are the ids (docs/tracing.md).
+     * Flow timestamps are clamped up to the track's last recorded
+     * event so arrows never make a track non-monotone.
+     */
+    std::uint64_t flowStart(TraceCat cat, std::uint32_t track, int core,
+                            Time ts, const char *name);
+    /** Continue a flow (Chrome `t`) on @p track. */
+    void flowStep(TraceCat cat, std::uint32_t track, int core, Time ts,
+                  const char *name, std::uint64_t id);
+    /** Terminate a flow (Chrome `f`, binding point `e`) on @p track. */
+    void flowEnd(TraceCat cat, std::uint32_t track, int core, Time ts,
+                 const char *name, std::uint64_t id);
+
+    /**
+     * Snapshot of how many events (currentPid_, @p track) has pushed,
+     * taken at request start; recordRequestExemplar() later copies
+     * everything pushed since the mark.
+     */
+    struct CaptureMark
+    {
+        std::uint64_t pushed = 0;
+    };
+    CaptureMark captureMark(std::uint32_t track) const;
+
+    /**
+     * Offer a finished request to the per-(process, @p group) top-K
+     * exemplar reservoir (K = @p topK, ordered by latency descending,
+     * then seq ascending). Only an admitted request pays the event
+     * copy; rejected offers are a comparison under the lock.
+     */
+    void recordRequestExemplar(const std::string &group,
+                               std::uint64_t seq, Time arrivalNs,
+                               Time startNs, Time doneNs,
+                               std::uint32_t track, CaptureMark mark,
+                               std::size_t topK);
+    /** All reservoirs flattened, ordered by (pid, group, rank). */
+    std::vector<SpanExemplar> exemplars() const;
+
     /** Drop all recorded events and process state; keep the mask. */
     void clear();
 
@@ -152,6 +221,8 @@ class SpanRecorder
         std::vector<SpanEvent> events; ///< ring once at capacity
         std::size_t next = 0;          ///< ring cursor
         std::uint64_t dropped = 0;
+        std::uint64_t flowNext = 0; ///< per-track flow id counter
+        Time lastTs = 0;            ///< newest push (flow ts clamp)
     };
 
     /**
@@ -191,6 +262,10 @@ class SpanRecorder
     std::uint32_t nextPid_ = 2;
     std::map<std::uint32_t, std::string> processLabels_;
     std::map<std::uint64_t, Track> tracks_; ///< key: pid << 32 | track
+    /** key: pid, group — each holds a latency-ordered top-K. */
+    std::map<std::pair<std::uint32_t, std::string>,
+             std::vector<SpanExemplar>>
+        exemplars_;
     MetricsRegistry *counterSource_ = nullptr;
 };
 
@@ -207,6 +282,7 @@ struct TraceReport
 {
     std::uint64_t events = 0;
     std::uint64_t dropped = 0; ///< recorder-reported ring overflows
+    std::uint64_t flowEvents = 0; ///< s/t/f causal-arrow phases
     std::map<std::string, SpanStat> spans;
     /** Spans closed while a `fault` span was open, keyed by name. */
     std::map<std::string, SpanStat> faultChildren;

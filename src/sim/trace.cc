@@ -31,6 +31,8 @@ traceCatName(TraceCat cat)
         return "lock";
       case TraceCat::Openloop:
         return "openloop";
+      case TraceCat::Sched:
+        return "sched";
       case TraceCat::kCount:
         break;
     }

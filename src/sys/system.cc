@@ -136,6 +136,23 @@ System::~System()
         fs_.allocator().setPrezeroSink(nullptr);
 }
 
+void
+System::enableTimeline(const sim::MetricsTimeline::Config &cfg)
+{
+    timeline_ = std::make_unique<sim::MetricsTimeline>(metrics_, cfg);
+}
+
+void
+System::timelineTickSlow(sim::Cpu &cpu)
+{
+    // Chrome counter tracks only make sense when spans are being
+    // recorded; otherwise tick without a trace track.
+    sim::SpanRecorder &rec = sim::Trace::get().spans();
+    timeline_->tick(cpu.now(), rec.anyEnabled()
+                                   ? sim::spanTrackOf(cpu)
+                                   : sim::MetricsTimeline::kNoTrack);
+}
+
 std::unique_ptr<vm::AddressSpace>
 System::newProcess()
 {

@@ -148,6 +148,24 @@ class System
      */
     sim::MetricsSnapshot snapshotMetrics() { return metrics_.snapshot(); }
 
+    /**
+     * Start windowed time-series telemetry (docs/metrics.md): interval
+     * snapshots of the registry rolled per virtual-time window. Call
+     * before the measured phase; workloads that support timelines
+     * (open-loop servers) tick it as requests complete.
+     */
+    void enableTimeline(const sim::MetricsTimeline::Config &cfg);
+
+    /** The windowed timeline, or null when enableTimeline() was not called. */
+    sim::MetricsTimeline *timeline() { return timeline_.get(); }
+
+    /** Hot-path timeline tick; a no-op unless enableTimeline() ran. */
+    void timelineTick(sim::Cpu &cpu)
+    {
+        if (timeline_ != nullptr)
+            timelineTickSlow(cpu);
+    }
+
     // Lifecycle -----------------------------------------------------------
 
     /** Create a new simulated process (address space). */
@@ -216,6 +234,8 @@ class System
     sim::Time quiesceTime() const;
 
   private:
+    void timelineTickSlow(sim::Cpu &cpu);
+
     SystemConfig config_;
     /** Declared before every subsystem so it outlives them all. */
     sim::MetricsRegistry metrics_;
@@ -235,6 +255,8 @@ class System
     std::unique_ptr<latr::Latr> latr_;
     /** Invariant oracle (checkLevel/DAXVM_CHECK); usually null. */
     std::unique_ptr<check::Oracle> oracle_;
+    /** Windowed telemetry (enableTimeline); usually null. */
+    std::unique_ptr<sim::MetricsTimeline> timeline_;
     /** Zeroed-pool snapshot taken at crash() for recover()'s re-check. */
     std::vector<fs::Extent> preCrashZeroed_;
 };

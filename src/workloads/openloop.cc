@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 #include "sim/trace.h"
 #include "sys/system.h"
@@ -261,9 +262,10 @@ OpenLoopStats::make(sim::MetricsScope scope, sim::Time sloNs)
 OpenLoopServer::OpenLoopServer(sys::System &system,
                                OpenLoopService &service,
                                OpenLoopQueue &queue,
-                               OpenLoopStats &stats, std::string label)
+                               OpenLoopStats &stats, std::string tenant,
+                               std::string label)
     : system_(system), service_(service), queue_(queue), stats_(stats),
-      label_(std::move(label))
+      tenant_(std::move(tenant)), label_(std::move(label))
 {}
 
 bool
@@ -272,19 +274,56 @@ OpenLoopServer::step(sim::Cpu &cpu)
     quantumStart(cpu, system_, service_.access());
     if (queue_.next >= queue_.schedule.size())
         return false;
+    const std::uint64_t seq = queue_.next;
     const Arrival arrival = queue_.schedule[queue_.next++];
     const sim::Time arrivedAt = queue_.base + arrival.at;
+
+    sim::SpanRecorder &rec = sim::Trace::get().spans();
+    const bool traced = rec.enabled(sim::TraceCat::Openloop);
+    const std::uint32_t track = sim::spanTrackOf(cpu);
+    if (traced) {
+        // Claim chain: one arrow per tenant threads the FCFS claims,
+        // showing in Perfetto how its requests hop across server
+        // tracks. Claims are serialized by min-clock stepping, so the
+        // chain (and its single id) is deterministic.
+        if (queue_.flowId == 0) {
+            queue_.flowId =
+                rec.flowStart(sim::TraceCat::Openloop, track,
+                              cpu.coreId(), cpu.now(), "claim");
+        } else if (queue_.next >= queue_.schedule.size()) {
+            rec.flowEnd(sim::TraceCat::Openloop, track, cpu.coreId(),
+                        cpu.now(), "claim", queue_.flowId);
+            queue_.flowId = 0;
+        } else {
+            rec.flowStep(sim::TraceCat::Openloop, track, cpu.coreId(),
+                         cpu.now(), "claim", queue_.flowId);
+        }
+    }
     // Open loop: an idle server waits for the arrival; a busy pool
     // starts late and the difference is queueing delay.
     cpu.advanceTo(arrivedAt);
     const sim::Time startedAt = cpu.now();
-    {
-        DAX_SPAN(sim::TraceCat::Openloop, cpu, "request");
-        if (arrival.newSession) {
-            cpu.advance(system_.cm().tcpAccept);
-            stats_.connections.addAt(cpu.coreId());
-        }
-        service_.serve(cpu, arrival);
+    sim::SpanRecorder::CaptureMark mark;
+    if (traced) {
+        // Mark before the begin so the request span itself is part of
+        // the exemplar capture.
+        mark = rec.captureMark(track);
+        char detail[96];
+        std::snprintf(detail, sizeof detail,
+                      "tenant=%s seq=%llu arr=%llu", tenant_.c_str(),
+                      static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(arrivedAt));
+        rec.begin(sim::TraceCat::Openloop, track, cpu.coreId(),
+                  cpu.now(), "request", detail);
+    }
+    if (arrival.newSession) {
+        cpu.advance(system_.cm().tcpAccept);
+        stats_.connections.addAt(cpu.coreId());
+    }
+    service_.serve(cpu, arrival);
+    if (traced) {
+        rec.end(sim::TraceCat::Openloop, track, cpu.coreId(), cpu.now(),
+                "request");
     }
     const sim::Time doneAt = cpu.now();
     if (doneAt > queue_.lastDone)
@@ -295,6 +334,11 @@ OpenLoopServer::step(sim::Cpu &cpu)
     stats_.service.recordAt(cpu.coreId(), doneAt - startedAt);
     if (stats_.sloNs != 0 && doneAt - arrivedAt > stats_.sloNs)
         stats_.sloViolations.addAt(cpu.coreId());
+    if (traced) {
+        rec.recordRequestExemplar(tenant_, seq, arrivedAt, startedAt,
+                                  doneAt, track, mark, kExemplarTopK);
+    }
+    system_.timelineTick(cpu);
     return queue_.next < queue_.schedule.size();
 }
 

@@ -92,7 +92,7 @@ Tenant::makeServers()
     servers.reserve(spec_.servers);
     for (unsigned s = 0; s < spec_.servers; s++) {
         servers.push_back(std::make_unique<OpenLoopServer>(
-            system_, *this, queue_, stats_,
+            system_, *this, queue_, stats_, spec_.name,
             spec_.name + ":" + std::to_string(s)));
     }
     return servers;

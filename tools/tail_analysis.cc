@@ -1,0 +1,577 @@
+/**
+ * @file
+ * Tail-latency forensics implementation (see tail_analysis.h).
+ */
+#include "tools/tail_analysis.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/json.h"
+
+namespace dax::tools {
+
+namespace {
+
+/** Critical-path segment a span name is charged to. */
+enum class Seg
+{
+    None, ///< plain service work
+    Lock,
+    Shootdown,
+    Journal,
+    Media,
+};
+
+Seg
+categoryOf(const std::string &name)
+{
+    if (name == "lock_wait")
+        return Seg::Lock;
+    if (name == "shootdown" || name == "shootdown_full"
+        || name == "ipi_disruption" || name == "latr_lazy"
+        || name == "latr_drain" || name == "latr_munmap")
+        return Seg::Shootdown;
+    if (name == "journal_commit")
+        return Seg::Journal;
+    if (name == "mce_repair")
+        return Seg::Media;
+    return Seg::None;
+}
+
+/** Round an exact-microsecond JSON timestamp back to integer ns. */
+std::uint64_t
+tsToNs(double tsUs)
+{
+    return static_cast<std::uint64_t>(tsUs * 1000.0 + 0.5);
+}
+
+bool
+parseRequestDetail(const std::string &detail, std::string &tenant,
+                   std::uint64_t &seq, std::uint64_t &arr)
+{
+    char name[64];
+    unsigned long long s = 0;
+    unsigned long long a = 0;
+    if (std::sscanf(detail.c_str(), "tenant=%63s seq=%llu arr=%llu",
+                    name, &s, &a)
+        != 3) {
+        return false;
+    }
+    tenant = name;
+    seq = s;
+    arr = a;
+    return true;
+}
+
+struct OpenSpan
+{
+    std::string name;
+    std::uint64_t beginNs = 0;
+    /** Inner time already charged to some segment (innermost wins). */
+    std::uint64_t catNs = 0;
+    bool isRequest = false;
+    std::string tenant;
+    std::uint64_t seq = 0;
+    std::uint64_t arrNs = 0;
+    Breakdown segs; ///< request spans accumulate here
+    std::map<std::string, std::uint64_t> disruptedBy;
+};
+
+/** A completed request span, handed to the per-pass sink. */
+struct ClosedRequest
+{
+    std::string tenant;
+    std::uint64_t seq = 0;
+    std::uint64_t arrNs = 0;
+    std::uint64_t beginNs = 0;
+    std::uint64_t endNs = 0;
+    Breakdown segs;
+    std::map<std::string, std::uint64_t> disruptedBy;
+};
+
+/**
+ * Close the innermost span at @p endNs: charge a categorized span's
+ * uncovered remainder to the nearest enclosing request, propagate
+ * covered time outward, and emit completed requests. Exact partition:
+ * every ns of a request is charged to exactly one segment.
+ */
+template <typename Sink>
+void
+closeSpan(std::vector<OpenSpan> &stack, std::uint64_t endNs, Sink &&sink)
+{
+    OpenSpan span = std::move(stack.back());
+    stack.pop_back();
+    const std::uint64_t dur =
+        endNs > span.beginNs ? endNs - span.beginNs : 0;
+    const Seg seg = categoryOf(span.name);
+    std::uint64_t up = span.catNs; // categorized time seen by parent
+    if (seg != Seg::None) {
+        const std::uint64_t self =
+            dur > span.catNs ? dur - span.catNs : 0;
+        up = std::max(dur, span.catNs);
+        for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+            if (!it->isRequest)
+                continue;
+            switch (seg) {
+              case Seg::Lock:
+                it->segs.lockNs += self;
+                break;
+              case Seg::Shootdown:
+                it->segs.shootdownNs += self;
+                break;
+              case Seg::Journal:
+                it->segs.journalNs += self;
+                break;
+              case Seg::Media:
+                it->segs.mediaNs += self;
+                break;
+              case Seg::None:
+                break;
+            }
+            break;
+        }
+    }
+    if (span.isRequest) {
+        ClosedRequest done;
+        done.tenant = std::move(span.tenant);
+        done.seq = span.seq;
+        done.arrNs = span.arrNs;
+        done.beginNs = span.beginNs;
+        done.endNs = endNs;
+        done.segs = span.segs;
+        done.segs.queueNs =
+            span.beginNs > span.arrNs ? span.beginNs - span.arrNs : 0;
+        const std::uint64_t charged =
+            done.segs.lockNs + done.segs.shootdownNs
+            + done.segs.journalNs + done.segs.mediaNs;
+        done.segs.serviceNs = dur > charged ? dur - charged : 0;
+        done.disruptedBy = std::move(span.disruptedBy);
+        sink(std::move(done));
+        // A request counts as fully categorized time for any outer
+        // span (requests never nest in practice).
+        up = std::max(up, dur);
+    }
+    if (!stack.empty())
+        stack.back().catNs += up;
+}
+
+/** Decode a flow id's initiator: (pid << 48) | (track << 24) | seq. */
+void
+decodeFlowId(std::uint64_t id, std::int64_t &pid, std::int64_t &track)
+{
+    pid = static_cast<std::int64_t>(id >> 48);
+    track = static_cast<std::int64_t>((id >> 24) & 0xffffff);
+}
+
+/** Parse the "0x<hex>" (or numeric) flow id; 0 when malformed. */
+std::uint64_t
+flowIdOf(const sim::Json &ev)
+{
+    const sim::Json *id = ev.find("id");
+    if (id == nullptr)
+        return 0;
+    if (id->isNumber())
+        return id->asUint();
+    if (!id->isString())
+        return 0;
+    return std::strtoull(id->asString().c_str(), nullptr, 0);
+}
+
+/**
+ * Count an inbound disruption arrow (`f` landing inside a request)
+ * against the initiating tenant, decoded from the flow id.
+ */
+void
+attributeInboundFlow(const TailReportData &data,
+                     std::vector<OpenSpan> &stack, const sim::Json &ev,
+                     const std::string &name)
+{
+    if (name != "ipi" && name != "latr")
+        return;
+    const std::uint64_t id = flowIdOf(ev);
+    if (id == 0)
+        return;
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (!it->isRequest)
+            continue;
+        std::int64_t pid = 0;
+        std::int64_t track = 0;
+        decodeFlowId(id, pid, track);
+        const auto src = data.trackTenants.find({pid, track});
+        it->disruptedBy[src != data.trackTenants.end()
+                            ? src->second
+                            : std::string("(external)")]++;
+        break;
+    }
+}
+
+std::string
+fmtUs(std::uint64_t ns)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64, ns / 1000,
+                  ns % 1000);
+    return buf;
+}
+
+} // namespace
+
+TailReportData
+analyzeTailTrace(const sim::Json &doc)
+{
+    TailReportData data;
+    const sim::Json *events = doc.find("traceEvents");
+    if (events == nullptr || !events->isArray()) {
+        data.problems.push_back("missing traceEvents array");
+        return data;
+    }
+
+    // Pass 1: every track's span stream. Builds the per-tenant
+    // aggregates and the (pid, track) -> tenant map pass 2 needs to
+    // decode flow initiators.
+    std::map<std::pair<std::int64_t, std::int64_t>,
+             std::vector<OpenSpan>>
+        stacks;
+    std::size_t index = 0;
+    for (const sim::Json &ev : events->items()) {
+        const std::size_t at = index++;
+        if (!ev.isObject())
+            continue;
+        const sim::Json *ph = ev.find("ph");
+        if (ph == nullptr || !ph->isString())
+            continue;
+        const std::string &phase = ph->asString();
+        if (phase == "M") {
+            const sim::Json *name = ev.find("name");
+            if (name != nullptr && name->isString()
+                && name->asString() == "daxvm_dropped_events") {
+                if (const sim::Json *args = ev.find("args"))
+                    if (const sim::Json *v = args->find("value"))
+                        data.dropped = v->asUint();
+            }
+            continue;
+        }
+        const sim::Json *pid = ev.find("pid");
+        const sim::Json *tid = ev.find("tid");
+        const sim::Json *ts = ev.find("ts");
+        if (pid == nullptr || !pid->isNumber() || tid == nullptr
+            || !tid->isNumber() || ts == nullptr || !ts->isNumber()) {
+            continue; // trace_report --validate owns schema policing
+        }
+        data.events++;
+        const std::uint64_t tsNs = tsToNs(ts->asDouble());
+        const auto key =
+            std::make_pair(pid->asInt(), tid->asInt());
+        auto &stack = stacks[key];
+
+        const sim::Json *nm = ev.find("name");
+        const std::string name =
+            nm != nullptr && nm->isString() ? nm->asString() : "";
+        if (phase == "s" || phase == "t" || phase == "f") {
+            if (phase == "s")
+                data.flowStarts++;
+            else if (phase == "t")
+                data.flowSteps++;
+            else
+                data.flowEnds++;
+            attributeInboundFlow(data, stack, ev, name);
+            continue;
+        }
+        if (phase == "i" || phase == "C")
+            continue;
+        if (phase == "B") {
+            OpenSpan span;
+            span.name = name;
+            span.beginNs = tsNs;
+            if (name == "request") {
+                std::string detail;
+                if (const sim::Json *args = ev.find("args"))
+                    if (const sim::Json *d = args->find("detail"))
+                        if (d->isString())
+                            detail = d->asString();
+                if (parseRequestDetail(detail, span.tenant, span.seq,
+                                       span.arrNs)) {
+                    span.isRequest = true;
+                    data.trackTenants[key] = span.tenant;
+                } else {
+                    data.problems.push_back(
+                        "event " + std::to_string(at)
+                        + ": request span without tenant detail");
+                }
+            }
+            stack.push_back(std::move(span));
+            continue;
+        }
+        if (phase == "E" && !stack.empty()) {
+            closeSpan(stack, tsNs, [&](ClosedRequest req) {
+                data.requestsParsed++;
+                TenantTail &tt = data.tenants[req.tenant];
+                tt.requests++;
+                tt.segs.add(req.segs);
+                const std::uint64_t latency =
+                    req.endNs > req.arrNs ? req.endNs - req.arrNs : 0;
+                tt.latencyTotalNs += latency;
+                tt.latencyMaxNs = std::max(tt.latencyMaxNs, latency);
+            });
+        }
+    }
+
+    // Pass 2: preserved slowest-request span trees, now that every
+    // track's tenant is known.
+    const sim::Json *exemplars = doc.find("daxvmRequestExemplars");
+    if (exemplars != nullptr && exemplars->isArray()) {
+        for (const sim::Json &ex : exemplars->items()) {
+            if (!ex.isObject())
+                continue;
+            RequestPath path;
+            const auto u64 = [&](const char *key) -> std::uint64_t {
+                const sim::Json *v = ex.find(key);
+                return v != nullptr && v->isNumber() ? v->asUint() : 0;
+            };
+            if (const sim::Json *g = ex.find("group"))
+                if (g->isString())
+                    path.tenant = g->asString();
+            path.seq = u64("seq");
+            path.arrivalNs = u64("arrival_ns");
+            path.startNs = u64("start_ns");
+            path.doneNs = u64("done_ns");
+            path.latencyNs = u64("latency_ns");
+            if (const sim::Json *t = ex.find("truncated"))
+                path.truncated = t->asBool();
+
+            bool closed = false;
+            std::vector<OpenSpan> stack;
+            const sim::Json *evs = ex.find("events");
+            if (evs != nullptr && evs->isArray()) {
+                for (const sim::Json &ev : evs->items()) {
+                    const sim::Json *ph = ev.find("ph");
+                    const sim::Json *ts = ev.find("ts");
+                    if (ph == nullptr || !ph->isString())
+                        continue;
+                    const std::string &phase = ph->asString();
+                    const sim::Json *nm = ev.find("name");
+                    const std::string name =
+                        nm != nullptr && nm->isString() ? nm->asString()
+                                                        : "";
+                    if (phase == "s" || phase == "t" || phase == "f") {
+                        attributeInboundFlow(data, stack, ev, name);
+                        continue;
+                    }
+                    if (ts == nullptr || !ts->isNumber()
+                        || (phase != "B" && phase != "E")) {
+                        continue;
+                    }
+                    const std::uint64_t tsNs = tsToNs(ts->asDouble());
+                    if (phase == "B") {
+                        OpenSpan span;
+                        span.name = name;
+                        span.beginNs = tsNs;
+                        if (name == "request") {
+                            span.isRequest = true;
+                            span.tenant = path.tenant;
+                            span.seq = path.seq;
+                            span.arrNs = path.arrivalNs;
+                        }
+                        stack.push_back(std::move(span));
+                    } else if (!stack.empty()) {
+                        closeSpan(stack, tsNs, [&](ClosedRequest req) {
+                            path.segs = req.segs;
+                            path.disruptedBy =
+                                std::move(req.disruptedBy);
+                            closed = true;
+                        });
+                    } else if (!path.truncated) {
+                        data.problems.push_back(
+                            "exemplar " + path.tenant + "/"
+                            + std::to_string(path.seq)
+                            + ": unmatched E in untruncated capture");
+                    }
+                }
+            }
+            if (!closed) {
+                // Truncated capture lost its request B: queueing is
+                // still exact from the stored timestamps; the rest of
+                // the latency stays unattributed (honest residual).
+                path.segs.queueNs = path.startNs > path.arrivalNs
+                                        ? path.startNs - path.arrivalNs
+                                        : 0;
+                if (!path.truncated) {
+                    data.problems.push_back(
+                        "exemplar " + path.tenant + "/"
+                        + std::to_string(path.seq)
+                        + ": no closed request span");
+                }
+            }
+            path.residualNs =
+                static_cast<std::int64_t>(path.latencyNs)
+                - static_cast<std::int64_t>(path.segs.totalNs());
+            data.exemplars.push_back(std::move(path));
+        }
+    }
+    return data;
+}
+
+std::string
+formatTailReport(const TailReportData &data, std::size_t topK)
+{
+    std::string out;
+    char line[320];
+
+    std::snprintf(line, sizeof(line),
+                  "events: %" PRIu64 "  flows: s=%" PRIu64 " t=%" PRIu64
+                  " f=%" PRIu64 "  dropped: %" PRIu64 "  requests: %"
+                  PRIu64 "  problems: %zu\n",
+                  data.events, data.flowStarts, data.flowSteps,
+                  data.flowEnds, data.dropped, data.requestsParsed,
+                  data.problems.size());
+    out += line;
+
+    if (!data.attributionReliable()) {
+        // Ring overflow dropped events: whatever wrapped first is
+        // undercounted, so whole-trace percentages would lie. The
+        // exemplar section below stays valid - those span trees were
+        // copied out of the ring at request completion.
+        std::snprintf(line, sizeof(line),
+                      "aggregate attribution refused: ring overflow "
+                      "dropped %" PRIu64 " events "
+                      "(raise DAXVM_TRACE_EVENTS)\n",
+                      data.dropped);
+        out += line;
+    } else {
+        out += "\nper-tenant critical-path attribution "
+               "(all requests):\n";
+        std::snprintf(line, sizeof(line),
+                      "  %-10s %9s %11s %11s %7s %7s %7s %7s %7s %7s\n",
+                      "tenant", "requests", "mean_us", "max_us",
+                      "queue%", "lock%", "shoot%", "jrnl%", "media%",
+                      "svc%");
+        out += line;
+        for (const auto &[tenant, tt] : data.tenants) {
+            const double total =
+                tt.latencyTotalNs > 0
+                    ? static_cast<double>(tt.latencyTotalNs)
+                    : 1.0;
+            const auto pct = [&](std::uint64_t ns) {
+                return 100.0 * static_cast<double>(ns) / total;
+            };
+            std::snprintf(
+                line, sizeof(line),
+                "  %-10s %9" PRIu64 " %11s %11s %6.1f%% %6.1f%% "
+                "%6.1f%% %6.1f%% %6.1f%% %6.1f%%\n",
+                tenant.c_str(), tt.requests,
+                fmtUs(tt.requests > 0 ? tt.latencyTotalNs / tt.requests
+                                      : 0)
+                    .c_str(),
+                fmtUs(tt.latencyMaxNs).c_str(), pct(tt.segs.queueNs),
+                pct(tt.segs.lockNs), pct(tt.segs.shootdownNs),
+                pct(tt.segs.journalNs), pct(tt.segs.mediaNs),
+                pct(tt.segs.serviceNs));
+            out += line;
+        }
+        if (data.tenants.empty())
+            out += "  (no request spans in trace)\n";
+    }
+
+    out += "\nslowest-request exemplars (preserved span trees, top "
+        + std::to_string(topK) + " per tenant):\n";
+    std::snprintf(line, sizeof(line),
+                  "  %-10s %9s %11s %9s %9s %9s %9s %9s %9s %10s\n",
+                  "tenant", "seq", "latency_us", "queue_us", "lock_us",
+                  "shoot_us", "jrnl_us", "media_us", "svc_us",
+                  "resid_ns");
+    out += line;
+    // The trace may hold one reservoir per System (multi-point bench):
+    // order by latency so the cap keeps each tenant's global worst.
+    std::vector<const RequestPath *> byLatency;
+    byLatency.reserve(data.exemplars.size());
+    for (const RequestPath &p : data.exemplars)
+        byLatency.push_back(&p);
+    std::stable_sort(byLatency.begin(), byLatency.end(),
+                     [](const RequestPath *a, const RequestPath *b) {
+                         return a->latencyNs > b->latencyNs;
+                     });
+    std::map<std::string, std::size_t> shown;
+    bool any = false;
+    for (const RequestPath *pp : byLatency) {
+        const RequestPath &p = *pp;
+        if (shown[p.tenant]++ >= topK)
+            continue;
+        any = true;
+        std::snprintf(
+            line, sizeof(line),
+            "  %-10s %9" PRIu64 " %11s %9s %9s %9s %9s %9s %9s %10lld"
+            "%s\n",
+            p.tenant.c_str(), p.seq, fmtUs(p.latencyNs).c_str(),
+            fmtUs(p.segs.queueNs).c_str(), fmtUs(p.segs.lockNs).c_str(),
+            fmtUs(p.segs.shootdownNs).c_str(),
+            fmtUs(p.segs.journalNs).c_str(),
+            fmtUs(p.segs.mediaNs).c_str(),
+            fmtUs(p.segs.serviceNs).c_str(),
+            static_cast<long long>(p.residualNs),
+            p.truncated ? "  [truncated]" : "");
+        out += line;
+        if (!p.disruptedBy.empty()) {
+            out += "             disrupted by:";
+            bool first = true;
+            for (const auto &[who, n] : p.disruptedBy) {
+                out += first ? " " : ", ";
+                first = false;
+                out += who + " x" + std::to_string(n);
+            }
+            out += "\n";
+        }
+    }
+    if (!any)
+        out += "  (no exemplars recorded - is Openloop tracing on?)\n";
+
+    if (!data.problems.empty()) {
+        out += "\nproblems:\n";
+        std::size_t shownProblems = 0;
+        for (const std::string &p : data.problems) {
+            if (shownProblems++ >= 20) {
+                out += "  ... ("
+                    + std::to_string(data.problems.size() - 20)
+                    + " more)\n";
+                break;
+            }
+            out += "  " + p + "\n";
+        }
+    }
+    return out;
+}
+
+std::string
+validateTailReport(const TailReportData &data, double minAttribution)
+{
+    if (data.events == 0)
+        return "empty trace (no events)";
+    if (!data.problems.empty())
+        return "schema problems: " + data.problems.front();
+    if (data.requestsParsed == 0)
+        return "no request spans parsed (Openloop tracing off?)";
+    if (data.exemplars.empty())
+        return "no request exemplars preserved";
+    for (const RequestPath &p : data.exemplars) {
+        if (p.truncated || p.latencyNs == 0)
+            continue;
+        const std::uint64_t attributed =
+            std::min(p.segs.totalNs(), p.latencyNs);
+        const double frac = static_cast<double>(attributed)
+                          / static_cast<double>(p.latencyNs);
+        if (frac < minAttribution) {
+            char buf[160];
+            std::snprintf(buf, sizeof(buf),
+                          "exemplar %s/%" PRIu64 ": only %.1f%% of %"
+                          PRIu64 " ns attributed",
+                          p.tenant.c_str(), p.seq, 100.0 * frac,
+                          p.latencyNs);
+            return buf;
+        }
+    }
+    return "";
+}
+
+} // namespace dax::tools

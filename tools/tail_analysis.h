@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tail-latency forensics over Chrome span traces (docs/tracing.md).
+ *
+ * analyzeTailTrace() stitches per-request critical paths out of a
+ * `--trace` export: every `request` span (detail
+ * `tenant=<name> seq=<n> arr=<ns>`, written by wl::OpenLoopServer)
+ * is decomposed into named segments
+ *
+ *   queueing  - service start minus open-loop arrival
+ *   lock      - lock_wait spans inside the request
+ *   shootdown - shootdown / shootdown_full / ipi_disruption /
+ *               latr_lazy / latr_drain / latr_munmap
+ *   journal   - journal_commit
+ *   media     - mce_repair
+ *   service   - everything else inside the request span
+ *
+ * with innermost-priority accounting: a journal_commit nested inside
+ * a shootdown span counts as journal, and only the remainder of the
+ * shootdown counts as shootdown, so the segments partition the
+ * request exactly: queue + lock + shootdown + journal + media +
+ * service == latency by construction (any residual is reported, not
+ * hidden).
+ *
+ * Two passes. Pass 1 walks `traceEvents`: per-tenant aggregates over
+ * every completed request, plus the (pid, track) -> tenant map (each
+ * engine track hosts one server). Pass 2 walks the
+ * `daxvmRequestExemplars` section - the slowest-K span trees per
+ * tenant that the recorder preserved across ring overflow - and
+ * additionally decodes inbound `ipi`/`latr` flow arrows: a flow id is
+ * `(pid << 48) | (track << 24) | seq` (span_trace.h), so the
+ * initiating tenant of every disruption landing inside a tail request
+ * is recoverable ("disrupted by").
+ *
+ * Honesty rule (docs/tracing.md): when the recorder dropped events,
+ * whole-trace aggregates are biased and formatTailReport() refuses
+ * them; exemplars are exempt because they were copied out of the ring
+ * at request completion (truncated captures are flagged per row).
+ */
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace dax::sim {
+class Json;
+}
+
+namespace dax::tools {
+
+/** One request's latency, partitioned into named segments (ns). */
+struct Breakdown
+{
+    std::uint64_t queueNs = 0;
+    std::uint64_t lockNs = 0;
+    std::uint64_t shootdownNs = 0;
+    std::uint64_t journalNs = 0;
+    std::uint64_t mediaNs = 0;
+    std::uint64_t serviceNs = 0;
+
+    std::uint64_t
+    totalNs() const
+    {
+        return queueNs + lockNs + shootdownNs + journalNs + mediaNs
+             + serviceNs;
+    }
+
+    void
+    add(const Breakdown &o)
+    {
+        queueNs += o.queueNs;
+        lockNs += o.lockNs;
+        shootdownNs += o.shootdownNs;
+        journalNs += o.journalNs;
+        mediaNs += o.mediaNs;
+        serviceNs += o.serviceNs;
+    }
+};
+
+/** One preserved exemplar request with its critical path. */
+struct RequestPath
+{
+    std::string tenant;
+    std::uint64_t seq = 0;
+    std::uint64_t arrivalNs = 0;
+    std::uint64_t startNs = 0;
+    std::uint64_t doneNs = 0;
+    std::uint64_t latencyNs = 0;
+    Breakdown segs;
+    /** latencyNs minus segs.totalNs(); 0 when the partition is exact. */
+    std::int64_t residualNs = 0;
+    /** Capture lost its head to ring overflow (span_trace.h). */
+    bool truncated = false;
+    /** Inbound disruption arrows by initiating tenant (flow decode). */
+    std::map<std::string, std::uint64_t> disruptedBy;
+};
+
+/** Whole-trace per-tenant aggregate (every request, not just tails). */
+struct TenantTail
+{
+    std::uint64_t requests = 0;
+    Breakdown segs;
+    std::uint64_t latencyTotalNs = 0;
+    std::uint64_t latencyMaxNs = 0;
+};
+
+/** Everything analyzeTailTrace() distills from one trace document. */
+struct TailReportData
+{
+    std::uint64_t events = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t flowStarts = 0;
+    std::uint64_t flowSteps = 0;
+    std::uint64_t flowEnds = 0;
+    /** Completed request spans parsed out of traceEvents. */
+    std::uint64_t requestsParsed = 0;
+    /** (pid, track) -> tenant name (one server task per track). */
+    std::map<std::pair<std::int64_t, std::int64_t>, std::string>
+        trackTenants;
+    std::map<std::string, TenantTail> tenants;
+    /** Preserved slowest-request critical paths, trace order. */
+    std::vector<RequestPath> exemplars;
+    std::vector<std::string> problems;
+
+    /** Whole-trace aggregates are unbiased only without drops. */
+    bool attributionReliable() const { return dropped == 0; }
+};
+
+TailReportData analyzeTailTrace(const sim::Json &doc);
+
+/**
+ * Render the per-tenant attribution tables and the top-@p topK
+ * exemplar rows per tenant. Aggregate tables are refused (with the
+ * reason printed) when the trace dropped events.
+ */
+std::string formatTailReport(const TailReportData &data,
+                             std::size_t topK = 3);
+
+/**
+ * Machine check for CI: non-empty trace, no schema problems, at least
+ * one parsed request, and every untruncated exemplar attributes >=
+ * @p minAttribution of its latency to named segments. @return empty
+ * string on success, else the failure reason.
+ */
+std::string validateTailReport(const TailReportData &data,
+                               double minAttribution = 0.95);
+
+} // namespace dax::tools
