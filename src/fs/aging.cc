@@ -26,22 +26,28 @@ AgingReport::toString() const
 }
 
 std::uint64_t
-drawAgrawalSize(sim::Rng &rng)
+drawAgrawalSize(sim::Rng &rng, const AgingConfig &config)
 {
     // Box-Muller for a normal draw; sizes are lognormal in log2 space:
-    // median 2^12.3 (~5 KB), sigma 2.4 doublings, clipped to
+    // default median 2^12.3 (~5 KB), sigma 2.4 doublings, clipped to
     // [1 KB, 64 MB]. This approximates the FAST'07 study's file size
     // distribution closely enough to drive fragmentation.
     const double u1 = rng.uniform();
     const double u2 = rng.uniform();
     const double n = std::sqrt(-2.0 * std::log(u1 + 1e-12))
                    * std::cos(6.283185307179586 * u2);
-    double log2Size = 12.3 + 2.4 * n;
-    if (log2Size < 10.0)
-        log2Size = 10.0;
-    if (log2Size > 26.0)
-        log2Size = 26.0;
+    double log2Size = config.sizeMedianLog2 + config.sizeSigmaLog2 * n;
+    if (log2Size < config.sizeMinLog2)
+        log2Size = config.sizeMinLog2;
+    if (log2Size > config.sizeMaxLog2)
+        log2Size = config.sizeMaxLog2;
     return static_cast<std::uint64_t>(std::pow(2.0, log2Size));
+}
+
+std::uint64_t
+drawAgrawalSize(sim::Rng &rng)
+{
+    return drawAgrawalSize(rng, AgingConfig{});
 }
 
 AgingReport
@@ -66,14 +72,14 @@ ageFileSystem(FileSystem &fs, const AgingConfig &config)
     // (including the area above the resting utilization) sees churn;
     // otherwise a pristine contiguous tail survives aging.
     const auto highWater = static_cast<std::uint64_t>(
-        std::min(0.93, config.targetUtilization + 0.22)
+        std::min(0.93, config.targetUtilization + config.highWaterDelta)
         * static_cast<double>(capacityBytes));
     const auto lowWater = static_cast<std::uint64_t>(
-        std::max(0.40, config.targetUtilization - 0.18)
+        std::max(0.40, config.targetUtilization - config.lowWaterDelta)
         * static_cast<double>(capacityBytes));
 
     auto createOne = [&](std::uint64_t cap) -> bool {
-        const std::uint64_t size = drawAgrawalSize(rng);
+        const std::uint64_t size = drawAgrawalSize(rng, config);
         const std::uint64_t rounded =
             (size + kBlockSize - 1) / kBlockSize * kBlockSize;
         if (liveBytes + rounded > cap

@@ -26,6 +26,26 @@ struct AgingConfig
     std::uint64_t seed = 42;
     /** Namespace prefix for the residue files left behind. */
     std::string prefix = "/aged/";
+
+    // Churn profile. The defaults reproduce the historical behaviour
+    // bit-for-bit; benches vary them to sweep size distributions and
+    // delete depth (bench/fig_aging_frag.cc).
+
+    /** log2 of the median file size (Agrawal FAST'07: ~5 KB). */
+    double sizeMedianLog2 = 12.3;
+    /** Lognormal sigma, in doublings. */
+    double sizeSigmaLog2 = 2.4;
+    /** Clip bounds for the size draw, in log2 bytes. */
+    double sizeMinLog2 = 10.0;
+    double sizeMaxLog2 = 26.0;
+    /**
+     * Delete-ratio control: churn oscillates utilization between
+     * min(0.93, target + highWaterDelta) and
+     * max(0.40, target - lowWaterDelta). A deeper low watermark
+     * deletes more per churn cycle.
+     */
+    double highWaterDelta = 0.22;
+    double lowWaterDelta = 0.18;
 };
 
 struct AgingReport
@@ -47,6 +67,9 @@ struct AgingReport
  * (median a few KB, heavy tail into the tens of MB).
  */
 std::uint64_t drawAgrawalSize(sim::Rng &rng);
+
+/** Same draw, parameterized by the config's size profile. */
+std::uint64_t drawAgrawalSize(sim::Rng &rng, const AgingConfig &config);
 
 /** Age @p fs in place; leaves the residue files on the image. */
 AgingReport ageFileSystem(FileSystem &fs, const AgingConfig &config);

@@ -16,13 +16,14 @@ namespace dax::fs {
 FileSystem::FileSystem(Personality personality, mem::Device &pmem,
                        std::uint64_t dataBase, std::uint64_t dataBytes,
                        const sim::CostModel &cm,
-                       sim::MetricsRegistry *metrics)
+                       sim::MetricsRegistry *metrics,
+                       AllocPolicy allocPolicy)
     : pmem_(pmem), cm_(cm),
       ownedMetrics_(metrics != nullptr
                         ? nullptr
                         : std::make_unique<sim::MetricsRegistry>()),
       metrics_(metrics != nullptr ? metrics : ownedMetrics_.get()),
-      alloc_(dataBytes / kBlockSize, dataBase),
+      alloc_(dataBytes / kBlockSize, dataBase, allocPolicy),
       journal_(personality, cm), stats_(*metrics_)
 {
     if (dataBase % kBlockSize != 0 || dataBytes % kBlockSize != 0)

@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Strategy-equivalence tests for the pluggable allocation policies
+ * (docs/performance.md "Allocator strategies"): every policy must
+ * produce identical *logical* state - file contents, recovery images,
+ * rebuild round-trips - even though physical placement differs. Also
+ * exercises the segregated pool's own consistency audit under churn.
+ */
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "fs/block_alloc.h"
+#include "fs/file_system.h"
+#include "fs/seg_pool.h"
+#include "mem/device.h"
+#include "sim/rng.h"
+#include "sys/system.h"
+
+using namespace dax;
+using namespace dax::fs;
+
+namespace {
+
+const AllocPolicy kPolicies[] = {AllocPolicy::FirstFit,
+                                 AllocPolicy::Segregated};
+
+sys::SystemConfig
+policyConfig(AllocPolicy policy, Personality personality)
+{
+    sys::SystemConfig sc;
+    sc.cores = 2;
+    sc.pmemBytes = 64ULL << 20;
+    sc.pmemTableBytes = 16ULL << 20;
+    sc.dramBytes = 32ULL << 20;
+    sc.personality = personality;
+    sc.blockAllocPolicy = policy;
+    return sc;
+}
+
+/**
+ * A fig1a/fig6-shaped metadata workload: create files across the size
+ * range with patterned content, punch deletion holes, refill, and
+ * append+fsync to a long-lived log. Deterministic for a seed.
+ */
+void
+runChurn(sys::System &system, std::vector<std::string> &paths)
+{
+    sim::Rng rng(2024);
+    sim::Cpu cpu(nullptr, 0, 0);
+    auto makeOne = [&](const std::string &path) {
+        const std::uint64_t size = 4096ULL << rng.below(8);
+        system.makeFile(path, size,
+                        std::min<std::uint64_t>(size, 64 * 1024));
+        paths.push_back(path);
+    };
+    for (int i = 0; i < 40; i++)
+        makeOne("/churn/" + std::to_string(i));
+    // Punch deletion holes, then refill so the refills land in
+    // policy-dependent places.
+    for (int i = 0; i < 40; i += 3) {
+        system.fs().unlink(cpu, paths[static_cast<std::size_t>(i)]);
+        paths[static_cast<std::size_t>(i)] = paths.back();
+        paths.pop_back();
+    }
+    for (int i = 0; i < 12; i++)
+        makeOne("/refill/" + std::to_string(i));
+    // fig6-shaped tail: append+fsync a long-lived log.
+    const Ino log = system.makeFile("/log", 4096, 4096);
+    paths.push_back("/log");
+    std::uint8_t rec[512];
+    for (int i = 0; i < 64; i++) {
+        std::memset(rec, 0x40 + (i % 26), sizeof(rec));
+        system.fs().write(cpu, log, system.fs().inode(log).size, rec,
+                          sizeof(rec));
+        system.fs().fsync(cpu, log);
+    }
+}
+
+/** FNV-1a over a file's read-back bytes. */
+std::uint64_t
+fileHash(sys::System &system, const std::string &path)
+{
+    sim::Cpu cpu(nullptr, 0, 0);
+    const auto ino = system.fs().lookupPath(path);
+    if (!ino.has_value())
+        return 0;
+    const std::uint64_t size = system.fs().inode(*ino).size;
+    std::vector<std::uint8_t> buf(size);
+    system.fs().read(cpu, *ino, 0, buf.data(), size);
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const std::uint8_t b : buf) {
+        h ^= b;
+        h *= 1099511628211ULL;
+    }
+    return h ^ size;
+}
+
+} // namespace
+
+TEST(AllocPolicy, EnvOverrideParsesAndRejects)
+{
+    setenv("DAXVM_ALLOC", "segregated,buddy", 1);
+    {
+        sys::System system(
+            policyConfig(AllocPolicy::FirstFit, Personality::Ext4Dax));
+        EXPECT_EQ(system.fs().allocator().policy(),
+                  AllocPolicy::Segregated);
+        EXPECT_EQ(system.config().framePolicy, mem::FramePolicy::Buddy);
+    }
+    setenv("DAXVM_ALLOC", "first-fit", 1);
+    {
+        sys::System system(policyConfig(AllocPolicy::Segregated,
+                                        Personality::Ext4Dax));
+        EXPECT_EQ(system.fs().allocator().policy(),
+                  AllocPolicy::FirstFit);
+        EXPECT_EQ(system.config().framePolicy, mem::FramePolicy::Lifo);
+    }
+    setenv("DAXVM_ALLOC", "bogus", 1);
+    EXPECT_THROW(sys::System system(policyConfig(
+                     AllocPolicy::FirstFit, Personality::Ext4Dax)),
+                 std::invalid_argument);
+    unsetenv("DAXVM_ALLOC");
+}
+
+TEST(AllocPolicy, IdenticalFileContentsAcrossPolicies)
+{
+    unsetenv("DAXVM_ALLOC");
+    for (const auto personality :
+         {Personality::Ext4Dax, Personality::Nova}) {
+        std::vector<std::vector<std::uint64_t>> hashes;
+        for (const auto policy : kPolicies) {
+            sys::System system(policyConfig(policy, personality));
+            std::vector<std::string> paths;
+            runChurn(system, paths);
+            std::vector<std::uint64_t> h;
+            for (const auto &p : paths)
+                h.push_back(fileHash(system, p));
+            hashes.push_back(std::move(h));
+        }
+        EXPECT_EQ(hashes[0], hashes[1])
+            << "file contents diverged between policies";
+    }
+}
+
+TEST(AllocPolicy, IdenticalRecoveryImagesAcrossPolicies)
+{
+    unsetenv("DAXVM_ALLOC");
+    for (const auto personality :
+         {Personality::Ext4Dax, Personality::Nova}) {
+        std::vector<std::vector<std::uint64_t>> hashes;
+        for (const auto policy : kPolicies) {
+            sys::System system(policyConfig(policy, personality));
+            std::vector<std::string> paths;
+            runChurn(system, paths);
+            system.crash();
+            const auto rec = system.recover();
+            EXPECT_EQ(rec.fs.conflictBlocks, 0u);
+            EXPECT_TRUE(system.fs().allocator().check().empty());
+            std::vector<std::uint64_t> h;
+            for (const auto &p : paths)
+                h.push_back(fileHash(system, p));
+            hashes.push_back(std::move(h));
+        }
+        EXPECT_EQ(hashes[0], hashes[1])
+            << "recovered contents diverged between policies";
+    }
+}
+
+TEST(AllocPolicy, RebuildRoundTripsUnderBothPolicies)
+{
+    for (const auto policy : kPolicies) {
+        BlockAllocator alloc(4096, 0, policy);
+        sim::Rng rng(99);
+        std::vector<Extent> held;
+        for (int i = 0; i < 60; i++) {
+            auto got = alloc.alloc(1 + rng.below(96),
+                                   rng.below(4096));
+            for (const auto &e : got)
+                held.push_back(e);
+        }
+        for (std::size_t i = 0; i < held.size(); i += 3) {
+            alloc.free(held[i]);
+            held[i] = held.back();
+            held.pop_back();
+        }
+        std::uint64_t allocated = 0;
+        for (const auto &e : held)
+            allocated += e.count;
+
+        // Rebuild from the committed extents: everything else free.
+        EXPECT_EQ(alloc.rebuildFrom(held), 0u);
+        EXPECT_EQ(alloc.freeBlocks(), 4096u - allocated);
+        EXPECT_TRUE(alloc.check().empty());
+
+        // The free view must be exactly the complement of `held`.
+        for (const auto &e : held) {
+            auto again = alloc.alloc(e.count, e.block);
+            bool overlaps = false;
+            for (const auto &g : again)
+                overlaps = overlaps
+                           || (g.block < e.block + e.count
+                               && e.block < g.block + g.count);
+            EXPECT_FALSE(overlaps)
+                << "rebuild left a committed extent allocatable";
+            for (const auto &g : again)
+                alloc.free(g);
+        }
+
+        // Retired extents leave the population permanently.
+        const Extent bad{held[0].block, held[0].count};
+        alloc.rebuildRetired({bad});
+        EXPECT_EQ(alloc.retiredBlocks(), bad.count);
+        EXPECT_TRUE(alloc.check().empty());
+
+        // Conflicting images are detected under every policy.
+        BlockAllocator dirty(1024, 0, policy);
+        const Extent x{0, 80};
+        const Extent y{40, 80};
+        EXPECT_EQ(dirty.rebuildFrom({x, y}), 40u);
+        EXPECT_TRUE(dirty.check().empty());
+    }
+}
+
+TEST(AllocPolicy, SegregatedPoolAuditStaysCleanUnderChurn)
+{
+    BlockAllocator alloc(1ULL << 15, 0, AllocPolicy::Segregated);
+    sim::Rng rng(7);
+    std::vector<Extent> held;
+    for (int op = 0; op < 20000; op++) {
+        const bool doAlloc =
+            held.empty() || (alloc.freeBlocks() > 0 && rng.below(2));
+        if (doAlloc) {
+            auto got =
+                alloc.alloc(1 + rng.below(64), rng.below(1ULL << 15),
+                            nullptr, rng.below(8) == 0);
+            for (const auto &e : got)
+                held.push_back(e);
+        } else {
+            const std::uint64_t i = rng.below(held.size());
+            alloc.free(held[i]);
+            held[i] = held.back();
+            held.pop_back();
+        }
+        if (op % 4000 == 0)
+            ASSERT_TRUE(alloc.check().empty()) << "op " << op;
+    }
+    ASSERT_TRUE(alloc.check().empty());
+    for (const auto &e : held)
+        alloc.free(e);
+    EXPECT_EQ(alloc.freeBlocks(), 1ULL << 15);
+    EXPECT_EQ(alloc.freeExtents(), 1u);
+    EXPECT_EQ(alloc.largestFreeExtent(), 1ULL << 15);
+    EXPECT_TRUE(alloc.check().empty());
+}
+
+TEST(AllocPolicy, SegregatedServesGoalDirectedAndHugeCarves)
+{
+    BlockAllocator alloc(8192, 0, AllocPolicy::Segregated);
+    alloc.alloc(3, 0); // misalign the frontier
+    auto huge = alloc.alloc(kBlocksPerHuge, 0, nullptr,
+                            /*preferHugeAligned=*/true);
+    ASSERT_EQ(huge.size(), 1u);
+    EXPECT_EQ(huge[0].block % kBlocksPerHuge, 0u);
+
+    // Fragment, then gather a request larger than any single run.
+    std::vector<Extent> held;
+    for (int i = 0; i < 20; i++)
+        held.push_back(alloc.alloc(100, 0)[0]);
+    for (std::size_t i = 0; i < held.size(); i += 2)
+        alloc.free(held[i]);
+    const std::uint64_t before = alloc.freeBlocks();
+    auto gathered = alloc.alloc(before, 0);
+    std::uint64_t total = 0;
+    for (const auto &e : gathered)
+        total += e.count;
+    EXPECT_EQ(total, before);
+    EXPECT_EQ(alloc.freeBlocks(), 0u);
+}

@@ -115,15 +115,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, BusyIntervalsProperty,
 // Block allocator conservation under random churn
 // ---------------------------------------------------------------------
 
-class AllocatorProperty : public ::testing::TestWithParam<std::uint64_t>
+class AllocatorProperty
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, fs::AllocPolicy>>
 {
 };
 
 TEST_P(AllocatorProperty, ConservesBlocksUnderChurn)
 {
-    sim::Rng rng(GetParam());
+    sim::Rng rng(std::get<0>(GetParam()));
     const std::uint64_t total = 16384;
-    fs::BlockAllocator alloc(total, 0);
+    fs::BlockAllocator alloc(total, 0, std::get<1>(GetParam()));
     std::vector<fs::Extent> held;
     std::uint64_t heldBlocks = 0;
 
@@ -158,10 +160,14 @@ TEST_P(AllocatorProperty, ConservesBlocksUnderChurn)
     EXPECT_EQ(alloc.freeBlocks(), total);
     EXPECT_EQ(alloc.freeExtents(), 1u);
     EXPECT_EQ(alloc.largestFreeExtent(), total);
+    EXPECT_TRUE(alloc.check().empty());
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, AllocatorProperty,
-                         ::testing::Values(3, 9, 27, 81));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, AllocatorProperty,
+    ::testing::Combine(::testing::Values(3, 9, 27, 81),
+                       ::testing::Values(fs::AllocPolicy::FirstFit,
+                                         fs::AllocPolicy::Segregated)));
 
 // ---------------------------------------------------------------------
 // Data integrity across interfaces and file sizes
